@@ -1,0 +1,61 @@
+//! Criterion bench: full-suite verification time under each search-order
+//! ablation (the experiment `figure6 -- --ablation` tabulates). Only the
+//! configurations under which the whole suite still verifies are timed;
+//! configurations that break examples are covered by the table instead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diaframe_core::{with_ablation_override, Ablation};
+use diaframe_examples::all_examples;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("baseline-suite", |b| {
+        b.iter(|| {
+            let mut verified = 0usize;
+            for ex in all_examples() {
+                verified += usize::from(ex.verify().is_ok());
+            }
+            assert_eq!(verified, 24);
+            criterion::black_box(verified)
+        });
+    });
+    // Ablated runs verify fewer examples; time how quickly the engine
+    // disposes of the whole suite anyway (stuck reports are cheap).
+    for (name, ab) in [
+        (
+            "oldest-first-suite",
+            Ablation {
+                oldest_first: true,
+                ..Ablation::none()
+            },
+        ),
+        (
+            "single-pass-suite",
+            Ablation {
+                single_pass: true,
+                ..Ablation::none()
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut verified = 0usize;
+                for ex in all_examples() {
+                    let ok = with_ablation_override(ab, || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            ex.verify().is_ok()
+                        }))
+                        .unwrap_or(false)
+                    });
+                    verified += usize::from(ok);
+                }
+                criterion::black_box(verified)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

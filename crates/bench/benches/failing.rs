@@ -1,0 +1,25 @@
+//! Criterion benches for the §6 failing-verification experiment: how fast
+//! sabotaged variants are *rejected*, compared to successful runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diaframe_examples::all_examples;
+
+fn bench_failing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failing");
+    group.sample_size(10);
+    for ex in all_examples() {
+        if ex.verify_broken().is_none() {
+            continue;
+        }
+        group.bench_function(format!("{}/success", ex.name()), |b| {
+            b.iter(|| criterion::black_box(ex.verify().is_ok()));
+        });
+        group.bench_function(format!("{}/failure", ex.name()), |b| {
+            b.iter(|| criterion::black_box(ex.verify_broken().unwrap().is_err()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_failing);
+criterion_main!(benches);

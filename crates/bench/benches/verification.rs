@@ -1,0 +1,22 @@
+//! Criterion benches: verification time per Figure 6 example (the paper's
+//! `time` column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use diaframe_examples::all_examples;
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification");
+    group.sample_size(10);
+    for ex in all_examples() {
+        group.bench_function(ex.name(), |b| {
+            b.iter(|| {
+                let outcome = ex.verify().expect("verifies");
+                criterion::black_box(outcome.proofs.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

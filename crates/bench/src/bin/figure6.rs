@@ -1,0 +1,27 @@
+//! Regenerates the paper's Figure 6 (and, with flags, the §6 aggregate
+//! data and failing-verification experiment).
+//!
+//! ```text
+//! cargo run -p diaframe-bench --bin figure6 [-- --aggregate] [-- --failing] [-- --ablation]
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--failing") {
+        println!("== §6 failing-verification experiment ==");
+        println!("{}", diaframe_bench::failing_table());
+        return;
+    }
+    if args.iter().any(|a| a == "--ablation") {
+        println!("== ablation experiment (search-order design decisions) ==");
+        println!("{}", diaframe_bench::ablation_table());
+        return;
+    }
+    if args.iter().any(|a| a == "--aggregate") {
+        println!("== §6 aggregated data ==");
+        println!("{}", diaframe_bench::aggregate_table());
+        return;
+    }
+    println!("== Figure 6 reproduction ==");
+    println!("{}", diaframe_bench::figure6_table());
+}

@@ -1,0 +1,211 @@
+//! The independent trace checker — the "foundational" layer.
+//!
+//! The search engine is heuristic and complicated; the checker is small
+//! and dumb. It replays a [`ProofTrace`] and re-validates:
+//!
+//! * every **pure obligation**: the recorded facts must entail the
+//!   recorded goal, re-proved from scratch by the pure solver (evar-free,
+//!   since obligations are recorded zonked);
+//! * the **mask discipline**: along every branch of the proof tree,
+//!   invariants are opened at most once before being closed (no
+//!   reentrancy), openings happen within an atomic step, and every opened
+//!   invariant is closed again before the next symbolic-execution step of
+//!   a *non-atomic* expression;
+//! * **branch structure**: case splits are well-nested and every branch
+//!   terminates.
+//!
+//! This plays the role of the Coq kernel in the original artifact, at the
+//! granularity of the paper's primitive rules (see DESIGN.md §1 for the
+//! substitution argument).
+
+use crate::trace::{ProofTrace, TraceStep};
+use diaframe_logic::Namespace;
+use diaframe_term::solver::PureSolver;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckError {
+    /// Index of the offending step.
+    pub step: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace step {}: {}", self.step, self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Replays and validates a trace.
+///
+/// # Errors
+///
+/// Returns the first [`CheckError`] encountered.
+pub fn check(trace: &ProofTrace) -> Result<(), CheckError> {
+    let mut open_stack: Vec<BTreeSet<Namespace>> = vec![BTreeSet::new()];
+    let mut branch_depth: Vec<usize> = Vec::new();
+    for (i, step) in trace.steps().iter().enumerate() {
+        match step {
+            TraceStep::PureObligation { facts, goal, vars } => {
+                // Re-prove from scratch. Remaining evars in recorded
+                // obligations are treated as opaque constants by the
+                // solver, which is sound.
+                let solver = PureSolver::new(facts);
+                let mut vars = vars.clone();
+                if !solver.prove_frozen(&mut vars, goal) {
+                    return Err(CheckError {
+                        step: i,
+                        message: format!("pure obligation does not re-prove: {goal:?}"),
+                    });
+                }
+            }
+            TraceStep::InvOpened { ns } => {
+                let open = open_stack.last_mut().expect("non-empty stack");
+                if !open.insert(ns.clone()) {
+                    return Err(CheckError {
+                        step: i,
+                        message: format!("invariant {ns} opened twice (reentrancy)"),
+                    });
+                }
+            }
+            TraceStep::InvClosed { ns } => {
+                let open = open_stack.last_mut().expect("non-empty stack");
+                if !open.remove(ns) {
+                    return Err(CheckError {
+                        step: i,
+                        message: format!("invariant {ns} closed but not open"),
+                    });
+                }
+            }
+            TraceStep::SymEx { spec, atomic } => {
+                let open = open_stack.last().expect("non-empty stack");
+                if !atomic && !open.is_empty() {
+                    return Err(CheckError {
+                        step: i,
+                        message: format!(
+                            "non-atomic expression {spec} executed with open invariants"
+                        ),
+                    });
+                }
+            }
+            TraceStep::CaseSplit { branches, .. } => {
+                branch_depth.push(*branches);
+            }
+            TraceStep::BranchStart { .. } => {
+                // Each branch starts from the invariant state at the split.
+                let cur = open_stack.last().expect("non-empty stack").clone();
+                open_stack.push(cur);
+            }
+            TraceStep::BranchEnd { .. } => {
+                if open_stack.len() <= 1 {
+                    return Err(CheckError {
+                        step: i,
+                        message: "unbalanced branch end".into(),
+                    });
+                }
+                open_stack.pop();
+            }
+            _ => {}
+        }
+    }
+    if open_stack.len() != 1 {
+        return Err(CheckError {
+            step: trace.len(),
+            message: "unbalanced branches at end of trace".into(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diaframe_term::{PureProp, Term, VarCtx};
+
+    #[test]
+    fn accepts_valid_obligations() {
+        let mut t = ProofTrace::new();
+        t.push(TraceStep::PureObligation {
+            facts: vec![PureProp::lt(Term::int(0), Term::int(5))],
+            goal: PureProp::le(Term::int(0), Term::int(5)),
+            vars: VarCtx::new(),
+        });
+        assert!(check(&t).is_ok());
+    }
+
+    #[test]
+    fn rejects_bogus_obligations() {
+        let mut t = ProofTrace::new();
+        t.push(TraceStep::PureObligation {
+            facts: Vec::new(),
+            goal: PureProp::lt(Term::int(5), Term::int(0)),
+            vars: VarCtx::new(),
+        });
+        let err = check(&t).unwrap_err();
+        assert!(err.message.contains("does not re-prove"));
+    }
+
+    #[test]
+    fn rejects_reentrant_invariant_opening() {
+        let mut t = ProofTrace::new();
+        let ns = Namespace::new("N");
+        t.push(TraceStep::InvOpened { ns: ns.clone() });
+        t.push(TraceStep::InvOpened { ns });
+        let err = check(&t).unwrap_err();
+        assert!(err.message.contains("reentrancy"));
+    }
+
+    #[test]
+    fn rejects_close_without_open() {
+        let mut t = ProofTrace::new();
+        t.push(TraceStep::InvClosed {
+            ns: Namespace::new("N"),
+        });
+        assert!(check(&t).is_err());
+    }
+
+    #[test]
+    fn rejects_nonatomic_with_open_invariant() {
+        let mut t = ProofTrace::new();
+        t.push(TraceStep::InvOpened {
+            ns: Namespace::new("N"),
+        });
+        t.push(TraceStep::SymEx {
+            spec: "call".into(),
+            atomic: false,
+        });
+        let err = check(&t).unwrap_err();
+        assert!(err.message.contains("open invariants"));
+    }
+
+    #[test]
+    fn branch_isolation() {
+        let mut t = ProofTrace::new();
+        let ns = Namespace::new("N");
+        t.push(TraceStep::CaseSplit {
+            on: "x".into(),
+            branches: 2,
+        });
+        t.push(TraceStep::BranchStart { index: 0 });
+        t.push(TraceStep::InvOpened { ns: ns.clone() });
+        t.push(TraceStep::InvClosed { ns: ns.clone() });
+        t.push(TraceStep::BranchEnd { index: 0 });
+        t.push(TraceStep::BranchStart { index: 1 });
+        t.push(TraceStep::InvOpened { ns: ns.clone() });
+        t.push(TraceStep::InvClosed { ns });
+        t.push(TraceStep::BranchEnd { index: 1 });
+        assert!(check(&t).is_ok());
+    }
+
+    #[test]
+    fn unbalanced_branches_rejected() {
+        let mut t = ProofTrace::new();
+        t.push(TraceStep::BranchStart { index: 0 });
+        assert!(check(&t).is_err());
+    }
+}

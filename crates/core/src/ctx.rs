@@ -1,0 +1,190 @@
+//! The proof context: `Γ` (pure facts + variables) and `Δ` (spatial and
+//! persistent hypotheses).
+
+use crate::symval::SymTable;
+use diaframe_logic::{Assertion, MaskStore, PredTable};
+use diaframe_term::solver::PureSolver;
+use diaframe_term::{PureProp, Subst, Term, VarCtx, VarId};
+
+/// One hypothesis in `Δ`.
+#[derive(Debug, Clone)]
+pub struct Hyp {
+    /// The (clean, §5.1) hypothesis.
+    pub assertion: Assertion,
+    /// Whether the hypothesis is persistent (usable without consumption).
+    pub persistent: bool,
+    /// A display name (`"H1"`, `"H2"`, …).
+    pub name: String,
+}
+
+/// The entire mutable proof state of one branch of the search.
+///
+/// Branching (hypothesis disjunctions, `if` on symbolic booleans, manual
+/// case splits) clones the whole context, so sibling branches can never
+/// interfere through shared evars.
+#[derive(Debug, Clone)]
+pub struct ProofCtx {
+    /// Variables and term evars.
+    pub vars: VarCtx,
+    /// Mask evars.
+    pub masks: MaskStore,
+    /// Abstract predicates of this verification.
+    pub preds: PredTable,
+    /// The pure context `Γ`.
+    pub facts: Vec<PureProp>,
+    /// The spatial/persistent context `Δ`.
+    pub delta: Vec<Hyp>,
+    /// The symbolic-value table.
+    pub syms: SymTable,
+    /// Pure goals postponed because they still contain unsolved evars
+    /// (they are re-proved once the evars are determined — at the latest
+    /// when the branch completes).
+    pub pending_pure: Vec<PureProp>,
+    next_hyp: u32,
+}
+
+impl ProofCtx {
+    /// An empty context over the given predicate table.
+    #[must_use]
+    pub fn new(preds: PredTable) -> ProofCtx {
+        ProofCtx {
+            vars: VarCtx::new(),
+            masks: MaskStore::new(),
+            preds,
+            facts: Vec::new(),
+            delta: Vec::new(),
+            syms: SymTable::new(),
+            pending_pure: Vec::new(),
+            next_hyp: 0,
+        }
+    }
+
+    /// Adds a pure fact to `Γ`.
+    pub fn add_fact(&mut self, p: PureProp) {
+        if p != PureProp::True {
+            self.facts.push(p);
+        }
+    }
+
+    /// Adds a hypothesis to `Δ`, returning its index.
+    pub fn add_hyp(&mut self, assertion: Assertion, persistent: bool) -> usize {
+        self.next_hyp += 1;
+        self.delta.push(Hyp {
+            assertion,
+            persistent,
+            name: format!("H{}", self.next_hyp),
+        });
+        self.delta.len() - 1
+    }
+
+    /// Removes a hypothesis by index.
+    pub fn remove_hyp(&mut self, idx: usize) -> Hyp {
+        self.delta.remove(idx)
+    }
+
+    /// A pure solver over the current facts.
+    #[must_use]
+    pub fn solver(&self) -> PureSolver {
+        PureSolver::new(&self.facts)
+    }
+
+    /// Proves a pure proposition from `Γ` (may instantiate evars).
+    pub fn prove_pure(&mut self, goal: &PureProp) -> bool {
+        let solver = PureSolver::new(&self.facts);
+        solver.prove(&mut self.vars, goal)
+    }
+
+    /// Proves a pure proposition without instantiating evars (for
+    /// disjunction guards, §5.3).
+    pub fn prove_pure_frozen(&mut self, goal: &PureProp) -> bool {
+        let solver = PureSolver::new(&self.facts);
+        solver.prove_frozen(&mut self.vars, goal)
+    }
+
+    /// Whether `Γ` is contradictory.
+    pub fn inconsistent(&mut self) -> bool {
+        let solver = PureSolver::new(&self.facts);
+        solver.inconsistent(&mut self.vars)
+    }
+
+    /// Substitutes a variable by a term throughout the context (facts and
+    /// hypotheses). Used by the cleaning step that eliminates equations
+    /// `⌜x = t⌝` with `x` a variable.
+    pub fn substitute_var(&mut self, v: VarId, t: &Term) {
+        let s = Subst::single(v, t.clone());
+        for f in &mut self.facts {
+            *f = f.subst(&s);
+        }
+        for h in &mut self.delta {
+            h.assertion = h.assertion.subst(&s);
+        }
+        self.syms.map_terms(|t| s.apply(t));
+        self.vars.map_solutions(|t| s.apply(t));
+    }
+
+    /// Zonks all hypotheses and facts (resolving solved evars), keeping
+    /// displays and matching fast paths precise.
+    pub fn zonk_all(&mut self) {
+        let vars = self.vars.clone();
+        for f in &mut self.facts {
+            *f = f.zonk(&vars);
+        }
+        for h in &mut self.delta {
+            h.assertion = h.assertion.zonk(&vars);
+        }
+        self.syms.map_terms(|t| t.zonk(&vars));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diaframe_logic::Atom;
+    use diaframe_term::Sort;
+
+    #[test]
+    fn facts_and_proving() {
+        let mut ctx = ProofCtx::new(PredTable::new());
+        let z = Term::var(ctx.vars.fresh_var(Sort::Int, "z"));
+        ctx.add_fact(PureProp::lt(Term::int(0), z.clone()));
+        assert!(ctx.prove_pure(&PureProp::le(Term::int(1), z.clone())));
+        assert!(!ctx.inconsistent());
+        ctx.add_fact(PureProp::eq(z, Term::int(0)));
+        assert!(ctx.inconsistent());
+    }
+
+    #[test]
+    fn hypothesis_management() {
+        let mut ctx = ProofCtx::new(PredTable::new());
+        let i = ctx.add_hyp(
+            Assertion::atom(Atom::points_to(Term::Loc(0), Term::v_unit())),
+            false,
+        );
+        assert_eq!(ctx.delta.len(), 1);
+        assert_eq!(ctx.delta[i].name, "H1");
+        let h = ctx.remove_hyp(i);
+        assert!(!h.persistent);
+        assert!(ctx.delta.is_empty());
+    }
+
+    #[test]
+    fn substitution_reaches_everything() {
+        let mut ctx = ProofCtx::new(PredTable::new());
+        let v = ctx.vars.fresh_var(Sort::Val, "v");
+        let l = Term::var(ctx.vars.fresh_var(Sort::Loc, "l"));
+        ctx.add_fact(PureProp::ne(Term::var(v), Term::v_unit()));
+        ctx.add_hyp(
+            Assertion::atom(Atom::points_to(l.clone(), Term::var(v))),
+            false,
+        );
+        ctx.substitute_var(v, &Term::v_int_lit(3));
+        assert_eq!(
+            ctx.facts[0],
+            PureProp::ne(Term::v_int_lit(3), Term::v_unit())
+        );
+        assert_eq!(
+            ctx.delta[0].assertion,
+            Assertion::atom(Atom::points_to(l, Term::v_int_lit(3)))
+        );
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! `diaframe-core` — the Diaframe proof search strategy.
+//!
+//! This crate is the paper's primary contribution, transplanted from Coq to
+//! Rust: an automated, goal-directed proof search for Iris-style separation
+//! logic entailments arising from weakest-precondition goals over HeapLang
+//! programs.
+//!
+//! Architecture (mirroring Fig. 1 of the paper):
+//!
+//! * a program plus a Hoare-style specification ([`spec::Spec`]) is turned
+//!   into an entailment goal ([`goal::Goal`], the grammar of §5.1);
+//! * the strategy ([`strategy`]) repeatedly introduces hypotheses, performs
+//!   symbolic execution steps (`sym-ex-fupd-exist`, §3.2) and discharges
+//!   atoms through *bi-abduction hints* (§4) — base hints from the ghost
+//!   libraries and the points-to assertion, closed recursively under wands
+//!   and invariants, with `ε₁` last-resort hints for allocation;
+//! * every rule application is recorded in a [`trace::ProofTrace`] which an
+//!   independent [`checker`] replays, re-validating pure obligations, the
+//!   mask discipline and the evar scope discipline;
+//! * when no rule applies the engine stops with a [`report::Stuck`]
+//!   rendering the proof state in the Iris-Proof-Mode style of §2.2, and
+//!   the user may resume with tactics ([`tactic`]): manual case splits,
+//!   custom hints, or opt-in disjunction backtracking.
+
+pub mod checker;
+pub mod ctx;
+pub mod goal;
+pub mod hint;
+pub mod report;
+pub mod spec;
+pub mod strategy;
+pub mod symval;
+pub mod tactic;
+pub mod trace;
+pub mod verify;
+
+pub use ctx::{Hyp, ProofCtx};
+pub use goal::Goal;
+pub use report::Stuck;
+pub use spec::{Spec, SpecTable};
+pub use tactic::{current_ablation, with_ablation_override, Ablation, Tactic, VerifyOptions};
+pub use trace::{ProofTrace, TraceStep};
+pub use verify::{verify, VerifiedProof};

@@ -1,0 +1,114 @@
+//! Stuck-state reports — the interactive fallback of §2.2.
+//!
+//! When the strategy cannot make progress it stops (it never backtracks
+//! globally) and produces a [`Stuck`] report rendering the proof state in
+//! the style of the Iris Proof Mode display shown in §2.2 of the paper:
+//! the pure context, the persistent hypotheses, the spatial hypotheses,
+//! and the remaining goal.
+
+use crate::ctx::ProofCtx;
+use diaframe_logic::display::pp_assertion;
+use diaframe_term::display::pp_prop;
+use std::fmt;
+
+/// A stuck proof state.
+#[derive(Debug, Clone)]
+pub struct Stuck {
+    /// Why the engine stopped.
+    pub reason: String,
+    /// The proof context at the stuck point (cloned).
+    pub ctx: ProofCtx,
+    /// A rendering of the remaining goal.
+    pub goal: String,
+}
+
+impl Stuck {
+    /// Renders the proof state like the Iris Proof Mode.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let bar = "─".repeat(72);
+        for f in &self.ctx.facts {
+            let f = f.zonk(&self.ctx.vars);
+            out.push_str(&format!("{}\n", pp_prop(&self.ctx.vars, &f)));
+        }
+        out.push_str(&bar);
+        out.push('\n');
+        let mut wrote_persistent = false;
+        for h in &self.ctx.delta {
+            if h.persistent {
+                let a = h.assertion.zonk(&self.ctx.vars);
+                out.push_str(&format!(
+                    "\"{}\" : {}\n",
+                    h.name,
+                    pp_assertion(&self.ctx.vars, &self.ctx.preds, &a)
+                ));
+                wrote_persistent = true;
+            }
+        }
+        if wrote_persistent {
+            out.push_str(&"╌".repeat(72));
+            out.push_str("□\n");
+        }
+        for h in &self.ctx.delta {
+            if !h.persistent {
+                let a = h.assertion.zonk(&self.ctx.vars);
+                out.push_str(&format!(
+                    "\"{}\" : {}\n",
+                    h.name,
+                    pp_assertion(&self.ctx.vars, &self.ctx.preds, &a)
+                ));
+            }
+        }
+        out.push_str(&"╌".repeat(72));
+        out.push_str("∗\n");
+        out.push_str(&self.goal);
+        out.push('\n');
+        out.push_str(&format!("(stuck: {})\n", self.reason));
+        out
+    }
+}
+
+impl fmt::Display for Stuck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl std::error::Error for Stuck {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diaframe_logic::{Assertion, Atom, PredTable};
+    use diaframe_term::{PureProp, Sort, Term};
+
+    #[test]
+    fn render_contains_all_sections() {
+        let mut ctx = ProofCtx::new(PredTable::new());
+        let z = Term::var(ctx.vars.fresh_var(Sort::Int, "z"));
+        ctx.add_fact(PureProp::lt(Term::int(0), z.clone()));
+        ctx.add_hyp(
+            Assertion::atom(Atom::invariant(
+                "N".into(),
+                Assertion::pure(PureProp::True),
+            )),
+            true,
+        );
+        ctx.add_hyp(
+            Assertion::atom(Atom::points_to(Term::Loc(0), Term::v_int(z))),
+            false,
+        );
+        let stuck = Stuck {
+            reason: "no hint found".into(),
+            ctx,
+            goal: "WP … {{ … }}".into(),
+        };
+        let r = stuck.render();
+        assert!(r.contains("0 < z0"));
+        assert!(r.contains("inv N"));
+        assert!(r.contains("↦"));
+        assert!(r.contains("no hint found"));
+        assert!(r.contains('□'));
+    }
+}

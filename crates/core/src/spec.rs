@@ -1,0 +1,117 @@
+//! Hoare-style specifications and the specification table.
+//!
+//! A [`Spec`] is the paper's `SPEC {{ P }} f arg {{ x⃗, RET v; Q }}`
+//! notation: a quantified Hoare triple for a *function value*. During
+//! symbolic execution, a call `f a` whose function value has a registered
+//! spec is cut through `sym-ex-fupd-exist` instead of being inlined — this
+//! is what makes verification modular (clients verify against library
+//! specs, §6's comparison with Caper).
+//!
+//! Recursive functions get their own spec registered while their body is
+//! verified (the Löb induction hypothesis); this is sound for partial
+//! correctness because applying a call spec always includes the β-step.
+
+use diaframe_heaplang::Val;
+use diaframe_logic::Assertion;
+use diaframe_term::VarId;
+
+/// A quantified Hoare triple for a single-argument function value.
+///
+/// Conventions: the function takes exactly one argument (use pairs for
+/// more), bound to the placeholder [`Spec::arg`]. The auxiliary
+/// quantifiers `x⃗` ([`Spec::binders`]) scope over precondition and
+/// postcondition; the postcondition additionally binds [`Spec::ret`].
+#[derive(Debug, Clone)]
+pub struct Spec {
+    /// Name for traces and error messages.
+    pub name: String,
+    /// The closure value this spec describes.
+    pub func: Val,
+    /// Placeholder for the call argument.
+    pub arg: VarId,
+    /// Auxiliary universally quantified placeholders.
+    pub binders: Vec<VarId>,
+    /// The precondition (a left-goal over `arg` and `binders`).
+    pub pre: Assertion,
+    /// Placeholder for the return value.
+    pub ret: VarId,
+    /// The postcondition (over `arg`, `binders` and `ret`).
+    pub post: Assertion,
+    /// Whether the call may be treated as atomic for invariant purposes.
+    /// Function calls never are; this exists so primitive specs can share
+    /// the representation.
+    pub atomic: bool,
+}
+
+/// The table of function specifications available during one verification.
+#[derive(Debug, Clone, Default)]
+pub struct SpecTable {
+    specs: Vec<Spec>,
+}
+
+impl SpecTable {
+    #[must_use]
+    /// An empty table.
+    pub fn new() -> SpecTable {
+        SpecTable::default()
+    }
+
+    /// Registers a spec.
+    pub fn register(&mut self, spec: Spec) {
+        self.specs.push(spec);
+    }
+
+    /// Finds the spec for a function value, if any.
+    #[must_use]
+    pub fn lookup(&self, f: &Val) -> Option<&Spec> {
+        self.specs.iter().find(|s| s.func == *f)
+    }
+
+    /// All registered specs.
+    #[must_use]
+    pub fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+
+    /// Number of registered specs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    #[must_use]
+    /// Whether the table has no specifications.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diaframe_heaplang::Expr;
+    use diaframe_term::{Sort, VarCtx};
+
+    #[test]
+    fn lookup_by_function_value() {
+        let mut vars = VarCtx::new();
+        let f = Expr::lam("x", Expr::var("x")).to_rec_val().unwrap();
+        let g = Expr::lam("y", Expr::unit()).to_rec_val().unwrap();
+        let arg = vars.fresh_var(Sort::Val, "a");
+        let ret = vars.fresh_var(Sort::Val, "w");
+        let mut table = SpecTable::new();
+        table.register(Spec {
+            name: "id".into(),
+            func: f.clone(),
+            arg,
+            binders: Vec::new(),
+            pre: Assertion::emp(),
+            ret,
+            post: Assertion::emp(),
+            atomic: false,
+        });
+        assert!(table.lookup(&f).is_some());
+        assert!(table.lookup(&g).is_none());
+        assert_eq!(table.len(), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! The bridge between HeapLang values and logical terms.
+//!
+//! Symbolic execution plugs logical terms (specification return values)
+//! into program contexts and extracts logical terms from program redexes.
+//! Literal values convert directly; everything else goes through
+//! [`Val::Sym`] ids resolved in the [`SymTable`].
+
+use diaframe_heaplang::{Loc, Val};
+use diaframe_term::{Sym, Term, VarCtx};
+
+/// The table mapping [`Val::Sym`] ids to logical terms (all of sort `Val`).
+#[derive(Debug, Clone, Default)]
+pub struct SymTable {
+    terms: Vec<Term>,
+}
+
+impl SymTable {
+    #[must_use]
+    /// An empty symbol table.
+    pub fn new() -> SymTable {
+        SymTable::default()
+    }
+
+    /// Interns a term, returning the symbolic value standing for it.
+    pub fn intern(&mut self, t: Term) -> Val {
+        // Reuse an existing binding for the identical term.
+        if let Some(i) = self.terms.iter().position(|u| *u == t) {
+            return Val::Sym(i as u64);
+        }
+        self.terms.push(t);
+        Val::Sym((self.terms.len() - 1) as u64)
+    }
+
+    /// The term behind a symbolic id.
+    #[must_use]
+    pub fn resolve(&self, id: u64) -> &Term {
+        &self.terms[usize::try_from(id).expect("symbolic id fits usize")]
+    }
+
+    /// Applies a function to every interned term (used when substituting
+    /// variables through the proof context: expressions hold only the ids,
+    /// so updating the table rewrites them transparently).
+    pub fn map_terms(&mut self, f: impl Fn(&Term) -> Term) {
+        for t in &mut self.terms {
+            *t = f(t);
+        }
+    }
+
+    /// Converts a term (sort `Val`) into a HeapLang value, using literal
+    /// embeddings where the term is constructor-shaped and symbolic values
+    /// elsewhere.
+    pub fn term_to_val(&mut self, ctx: &VarCtx, t: &Term) -> Val {
+        let t = t.zonk(ctx);
+        match &t {
+            Term::App(Sym::VUnit, _) => Val::Unit,
+            Term::App(Sym::VInt, args) => match &args[0] {
+                Term::Int(n) => Val::Int(*n),
+                _ => self.intern(t),
+            },
+            Term::App(Sym::VBool, args) => match &args[0] {
+                Term::Bool(b) => Val::Bool(*b),
+                _ => self.intern(t),
+            },
+            Term::App(Sym::VLoc, args) => match &args[0] {
+                Term::Loc(l) => Val::Loc(Loc::new(*l)),
+                _ => self.intern(t),
+            },
+            Term::App(Sym::VPair, args) => Val::pair(
+                self.term_to_val(ctx, &args[0]),
+                self.term_to_val(ctx, &args[1]),
+            ),
+            Term::App(Sym::VInjL, args) => Val::inj_l(self.term_to_val(ctx, &args[0])),
+            Term::App(Sym::VInjR, args) => Val::inj_r(self.term_to_val(ctx, &args[0])),
+            _ => self.intern(t),
+        }
+    }
+
+    /// Converts a HeapLang value into a term of sort `Val`. Closures are
+    /// not convertible (they are matched against function specifications
+    /// instead): the result is `None` exactly for values containing a
+    /// closure.
+    #[must_use]
+    pub fn val_to_term(&self, v: &Val) -> Option<Term> {
+        match v {
+            Val::Unit => Some(Term::v_unit()),
+            Val::Int(n) => Some(Term::v_int_lit(*n)),
+            Val::Bool(b) => Some(Term::v_bool_lit(*b)),
+            Val::Loc(l) => Some(Term::v_loc(Term::Loc(l.raw()))),
+            Val::Pair(a, b) => Some(Term::v_pair(self.val_to_term(a)?, self.val_to_term(b)?)),
+            Val::InjL(a) => Some(Term::v_inj_l(self.val_to_term(a)?)),
+            Val::InjR(a) => Some(Term::v_inj_r(self.val_to_term(a)?)),
+            Val::Sym(id) => Some(self.resolve(*id).clone()),
+            Val::Rec { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diaframe_term::Sort;
+
+    #[test]
+    fn literals_round_trip() {
+        let ctx = VarCtx::new();
+        let mut tab = SymTable::new();
+        for t in [
+            Term::v_unit(),
+            Term::v_int_lit(5),
+            Term::v_bool_lit(true),
+            Term::v_pair(Term::v_int_lit(1), Term::v_unit()),
+            Term::v_inj_l(Term::v_int_lit(0)),
+        ] {
+            let v = tab.term_to_val(&ctx, &t);
+            assert_eq!(tab.val_to_term(&v), Some(t));
+        }
+    }
+
+    #[test]
+    fn symbolic_terms_intern() {
+        let mut ctx = VarCtx::new();
+        let mut tab = SymTable::new();
+        let x = Term::var(ctx.fresh_var(Sort::Val, "x"));
+        let v = tab.term_to_val(&ctx, &x);
+        assert!(matches!(v, Val::Sym(_)));
+        assert_eq!(tab.val_to_term(&v), Some(x.clone()));
+        // Interning the same term twice reuses the id.
+        let v2 = tab.term_to_val(&ctx, &x);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn constructor_shapes_with_symbolic_leaves() {
+        let mut ctx = VarCtx::new();
+        let mut tab = SymTable::new();
+        let z = Term::var(ctx.fresh_var(Sort::Int, "z"));
+        // #z with symbolic z stays a single symbolic value…
+        let v = tab.term_to_val(&ctx, &Term::v_int(z.clone()));
+        assert!(matches!(v, Val::Sym(_)));
+        // …but a pair of a literal and a symbolic splits structurally.
+        let p = Term::v_pair(Term::v_int_lit(1), Term::v_int(z));
+        let v = tab.term_to_val(&ctx, &p);
+        match v {
+            Val::Pair(a, b) => {
+                assert_eq!(*a, Val::Int(1));
+                assert!(matches!(*b, Val::Sym(_)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zonks_before_converting() {
+        let mut ctx = VarCtx::new();
+        let mut tab = SymTable::new();
+        let e = ctx.fresh_evar(Sort::Val);
+        ctx.solve_evar(e, Term::v_int_lit(9));
+        let v = tab.term_to_val(&ctx, &Term::evar(e));
+        assert_eq!(v, Val::Int(9));
+    }
+
+    #[test]
+    fn closures_do_not_convert() {
+        let tab = SymTable::new();
+        let clos = Val::Rec {
+            f: None,
+            x: None,
+            body: std::sync::Arc::new(diaframe_heaplang::Expr::unit()),
+        };
+        assert_eq!(tab.val_to_term(&clos), None);
+    }
+}

@@ -1,0 +1,224 @@
+//! Proof traces — the machine-checkable record of a proof search.
+//!
+//! Every rule the strategy applies appends a [`TraceStep`]. The trace is
+//! the foundational artifact of this reproduction: the [`crate::checker`]
+//! replays it independently of the heuristic search, re-validating pure
+//! obligations and the invariant-mask discipline.
+
+use diaframe_logic::Namespace;
+use diaframe_term::{PureProp, VarCtx};
+use std::collections::BTreeSet;
+
+/// One step of the proof.
+#[derive(Debug, Clone)]
+pub enum TraceStep {
+    /// A universal variable was introduced (case 1 of §5.2).
+    IntroVar {
+        /// Display name of the variable.
+        name: String,
+    },
+    /// A hypothesis was introduced and cleaned (case 2).
+    IntroHyp {
+        /// Rendering of the hypothesis.
+        hyp: String,
+    },
+    /// A pure fact entered `Γ`.
+    Fact {
+        /// The fact.
+        prop: PureProp,
+    },
+    /// A pure program step (β-reduction, projections, arithmetic on
+    /// literals, …).
+    PureStep {
+        /// Which reduction fired.
+        rule: &'static str,
+    },
+    /// `sym-ex-fupd-exist` was applied (case 3b).
+    SymEx {
+        /// The specification used (primitive name or function name).
+        spec: String,
+        /// Whether the expression was atomic (invariants may stay open).
+        atomic: bool,
+    },
+    /// A bi-abduction hint was applied (case 5d).
+    HintApplied {
+        /// The chain of rule names (e.g. `["inv-open", "token-mutate-incr"]`).
+        rules: Vec<String>,
+        /// The hypothesis it keyed on (`None` for `ε₁` hints).
+        hyp: Option<String>,
+        /// Whether a user-provided hint was involved.
+        custom: bool,
+    },
+    /// An invariant was opened.
+    InvOpened {
+        /// Its namespace.
+        ns: Namespace,
+    },
+    /// An invariant was closed.
+    InvClosed {
+        /// Its namespace.
+        ns: Namespace,
+    },
+    /// A pure obligation was discharged; recorded with the facts in scope
+    /// and a snapshot of the variable context so the checker can re-prove
+    /// it from scratch.
+    PureObligation {
+        /// The facts available.
+        facts: Vec<PureProp>,
+        /// The proposition proved.
+        goal: PureProp,
+        /// Snapshot of the variable context (sorts for the solver).
+        vars: VarCtx,
+    },
+    /// The context was found contradictory (vacuous branch).
+    Contradiction {
+        /// The rule detecting it (e.g. `locked-unique`).
+        rule: String,
+    },
+    /// A case split started `branches` sub-proofs.
+    CaseSplit {
+        /// What the split is on.
+        on: String,
+        /// Number of branches.
+        branches: usize,
+    },
+    /// A branch of the latest case split begins.
+    BranchStart {
+        /// Its index.
+        index: usize,
+    },
+    /// The branch ends (successfully).
+    BranchEnd {
+        /// Its index.
+        index: usize,
+    },
+    /// The `wp` reached a value (case 3a).
+    ValueReached,
+    /// A user tactic was consumed (manual proof work).
+    TacticUsed {
+        /// Description of the tactic.
+        name: String,
+    },
+    /// A disjunct was chosen by guard reasoning (§5.3).
+    DisjunctChosen {
+        /// `"left"` or `"right"`.
+        side: &'static str,
+        /// Why (guard refuted / proved / backtracking).
+        reason: &'static str,
+    },
+}
+
+/// The full trace of one verification.
+#[derive(Debug, Clone, Default)]
+pub struct ProofTrace {
+    steps: Vec<TraceStep>,
+}
+
+impl ProofTrace {
+    #[must_use]
+    /// An empty trace.
+    pub fn new() -> ProofTrace {
+        ProofTrace::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: TraceStep) {
+        self.steps.push(step);
+    }
+
+    /// All steps, in order.
+    #[must_use]
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    #[must_use]
+    /// Whether the trace has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The distinct hint rules used (the paper's "hints used" column).
+    #[must_use]
+    pub fn hints_used(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for s in &self.steps {
+            if let TraceStep::HintApplied { rules, .. } = s {
+                for r in rules {
+                    out.insert(r.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The distinct *custom* (user-provided) hint rules used.
+    #[must_use]
+    pub fn custom_hints_used(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for s in &self.steps {
+            if let TraceStep::HintApplied {
+                rules,
+                custom: true,
+                ..
+            } = s
+            {
+                for r in rules {
+                    out.insert(r.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of user tactics consumed (manual proof work).
+    #[must_use]
+    pub fn tactics_used(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, TraceStep::TacticUsed { .. }))
+            .count()
+    }
+
+    /// Number of symbolic execution steps.
+    #[must_use]
+    pub fn symex_steps(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, TraceStep::SymEx { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_hint_statistics() {
+        let mut t = ProofTrace::new();
+        t.push(TraceStep::HintApplied {
+            rules: vec!["inv-open".into(), "token-mutate-incr".into()],
+            hyp: Some("H1".into()),
+            custom: false,
+        });
+        t.push(TraceStep::HintApplied {
+            rules: vec!["my-custom".into()],
+            hyp: None,
+            custom: true,
+        });
+        t.push(TraceStep::TacticUsed {
+            name: "case z = 1".into(),
+        });
+        assert_eq!(t.hints_used().len(), 3);
+        assert_eq!(t.custom_hints_used().len(), 1);
+        assert_eq!(t.tactics_used(), 1);
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,117 @@
+//! A client of the barrier: forks two waiters and signals — resources flow
+//! from the signaller through the barrier to both forked threads.
+
+use crate::barrier::is_bar;
+use crate::common::{eq, papp, sep, tm, Example, ExampleOutcome, PaperRow, ToolStat};
+use diaframe_core::{Stuck, VerifyOptions};
+use diaframe_ghost::gvar::gvar;
+use diaframe_heaplang::{parse_expr, Expr, Val};
+use diaframe_logic::Assertion;
+use diaframe_term::{Sort, Term};
+
+/// The client.
+pub const SOURCE: &str = "\
+def broadcast b := fork { wait b ;; () } ;; fork { wait b ;; () } ;; signal b
+";
+
+/// The client's specification.
+pub const ANNOTATION: &str = "\
+SPEC {{ is_bar γw b ∗ gvar γw ½ () ∗ gvar γw ½ () ∗ P 1 }}
+     broadcast b {{ RET #(); True }}
+";
+
+/// The Figure 6 example.
+#[derive(Debug, Default)]
+pub struct BarrierClient;
+
+impl Example for BarrierClient {
+    fn name(&self) -> &'static str {
+        "barrier_client"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn annotation(&self) -> &'static str {
+        ANNOTATION
+    }
+
+    fn paper(&self) -> PaperRow {
+        PaperRow {
+            impl_lines: 58,
+            annot: (98, 38),
+            custom: 0,
+            hints: (6, 0),
+            time: "0:50",
+            dia_total: (175, 44),
+            iris: None,
+            starling: None,
+            caper: Some(ToolStat::new(189, 0)),
+            voila: None,
+        }
+    }
+
+    fn verify(&self) -> Result<ExampleOutcome, Box<Stuck>> {
+        let combined = format!("{}{}", crate::barrier::SOURCE, SOURCE);
+        let mut s = crate::barrier::build_with_source(&combined);
+        let p = s.p;
+        let ws = &mut s.ws;
+        let b = ws.v(Sort::Val, "b");
+        let gw = ws.v(Sort::GhostName, "γw");
+        let w = ws.v(Sort::Val, "w");
+        let pre = sep([
+            is_bar(ws, p, Term::var(gw), Term::var(b)),
+            Assertion::atom(gvar(Term::var(gw), tm::half(), tm::unit())),
+            Assertion::atom(gvar(Term::var(gw), tm::half(), tm::unit())),
+            papp(p, vec![tm::one()]),
+        ]);
+        let spec = ws.spec(
+            "broadcast",
+            "broadcast",
+            b,
+            vec![gw],
+            pre,
+            w,
+            eq(Term::var(w), tm::unit()),
+        );
+        let registry = diaframe_ghost::Registry::standard();
+        s.ws.verify_all(
+            &registry,
+            &[(&spec, VerifyOptions::automatic().with_backtracking())],
+        )
+    }
+
+    fn adequacy_program(&self) -> Option<(Expr, Val)> {
+        let combined = format!("{}{}", crate::barrier::SOURCE, SOURCE);
+        let s = crate::barrier::build_with_source(&combined);
+        let main =
+            parse_expr("let b := new_barrier () in broadcast b ;; !b").expect("client parses");
+        Some((
+            diaframe_heaplang::parser::link(s.ws.defs(), &main),
+            Val::Bool(true),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_modularly() {
+        let outcome = BarrierClient
+            .verify()
+            .unwrap_or_else(|e| panic!("barrier_client stuck:\n{e}"));
+        assert_eq!(outcome.manual_steps, 0);
+        outcome.check_all().expect("traces replay");
+    }
+
+    #[test]
+    fn adequacy() {
+        let (prog, expected) = BarrierClient.adequacy_program().expect("client");
+        for v in diaframe_heaplang::interp::run_schedules(&prog, 10, 1_000_000) {
+            assert_eq!(v, expected);
+        }
+    }
+}

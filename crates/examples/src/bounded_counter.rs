@@ -1,0 +1,223 @@
+//! The bounded counter (Caper/Voila's `BoundedCounter`).
+//!
+//! A counter cycling through `0 … b-1`; incrementing at the bound wraps to
+//! zero. The paper verifies it "for a parametric bound, whereas Caper and
+//! Voila fix the bound to 3" (§6) — so does this reproduction: the bound
+//! `b` is a specification variable constrained only by `0 < b`.
+
+use crate::common::{eq, ex, inv, pt, sep, tm, Example, ExampleOutcome, PaperRow, ToolStat, Ws};
+use diaframe_core::{Spec, Stuck, VerifyOptions};
+use diaframe_heaplang::{parse_expr, Expr, Val};
+use diaframe_logic::{Assertion, PredTable};
+use diaframe_term::{PureProp, Sort, Term};
+
+/// The implementation. `incr` takes the pair `(b, c)` of bound and counter
+/// (recursive functions take a single argument; see DESIGN.md).
+pub const SOURCE: &str = "\
+def make _ := ref 0
+def incr a :=
+  let b := fst a in
+  let c := snd a in
+  let v := !c in
+  if v = b - 1
+  then (if CAS(c, v, 0) then v else incr a)
+  else (if CAS(c, v, v + 1) then v else incr a)
+def read c := !c
+";
+
+/// Specifications and the invariant (parametric bound `b`).
+pub const ANNOTATION: &str = "\
+bc_inv l b := ∃ n. l ↦ #n ∗ ⌜0 ≤ n⌝ ∗ ⌜n < b⌝
+is_bc c b := ∃ l. ⌜c = #l⌝ ∗ inv N (bc_inv l b)
+SPEC {{ ⌜0 < b⌝ }} make () {{ c, RET c; is_bc c b }}
+SPEC {{ ⌜a = (#b, c)⌝ ∗ ⌜0 < b⌝ ∗ is_bc c b }} incr a {{ n, RET #n; ⌜0 ≤ n⌝ ∗ ⌜n < b⌝ }}
+SPEC {{ is_bc c b }} read c {{ n, RET #n; ⌜0 ≤ n⌝ ∗ ⌜n < b⌝ }}
+";
+
+/// Built specs.
+pub struct BoundedCounterSpecs {
+    /// Workspace.
+    pub ws: Ws,
+    /// make / incr / read.
+    pub specs: Vec<Spec>,
+}
+
+fn is_bc(ws: &mut Ws, c: Term, b: Term) -> Assertion {
+    let l = ws.v(Sort::Loc, "l");
+    let n = ws.v(Sort::Int, "n");
+    let body = ex(
+        n,
+        sep([
+            pt(Term::var(l), tm::vint(Term::var(n))),
+            Assertion::pure(PureProp::le(Term::int(0), Term::var(n))),
+            Assertion::pure(PureProp::lt(Term::var(n), b)),
+        ]),
+    );
+    ex(l, sep([eq(c, tm::vloc(Term::var(l))), inv("bc", body)]))
+}
+
+/// Builds the workspace and specs.
+#[must_use]
+pub fn build_with_source(source: &str) -> BoundedCounterSpecs {
+    let mut ws = Ws::new(PredTable::new(), source);
+    let mut specs = Vec::new();
+
+    // make (bound is chosen by the caller; the invariant is established
+    // for it).
+    let a = ws.v(Sort::Val, "a");
+    let b = ws.v(Sort::Int, "b");
+    let w = ws.v(Sort::Val, "w");
+    let pre = Assertion::pure(PureProp::lt(Term::int(0), Term::var(b)));
+    let post = is_bc(&mut ws, Term::var(w), Term::var(b));
+    specs.push(ws.spec("make", "make", a, vec![b], pre, w, post));
+
+    // incr: argument is the pair (#b, c).
+    let a = ws.v(Sort::Val, "a");
+    let b = ws.v(Sort::Int, "b");
+    let c = ws.v(Sort::Val, "c");
+    let w = ws.v(Sort::Val, "w");
+    let n = ws.v(Sort::Int, "n");
+    let pre = sep([
+        eq(
+            Term::var(a),
+            Term::v_pair(tm::vint(Term::var(b)), Term::var(c)),
+        ),
+        Assertion::pure(PureProp::lt(Term::int(0), Term::var(b))),
+        is_bc(&mut ws, Term::var(c), Term::var(b)),
+    ]);
+    let post = ex(
+        n,
+        sep([
+            eq(Term::var(w), tm::vint(Term::var(n))),
+            Assertion::pure(PureProp::le(Term::int(0), Term::var(n))),
+            Assertion::pure(PureProp::lt(Term::var(n), Term::var(b))),
+        ]),
+    );
+    specs.push(ws.spec("incr", "incr", a, vec![b, c], pre, w, post));
+
+    // read.
+    let c = ws.v(Sort::Val, "c");
+    let b = ws.v(Sort::Int, "b");
+    let w = ws.v(Sort::Val, "w");
+    let n = ws.v(Sort::Int, "n");
+    let pre = is_bc(&mut ws, Term::var(c), Term::var(b));
+    let post = ex(
+        n,
+        sep([
+            eq(Term::var(w), tm::vint(Term::var(n))),
+            Assertion::pure(PureProp::le(Term::int(0), Term::var(n))),
+            Assertion::pure(PureProp::lt(Term::var(n), Term::var(b))),
+        ]),
+    );
+    specs.push(ws.spec("read", "read", c, vec![b], pre, w, post));
+
+    BoundedCounterSpecs { ws, specs }
+}
+
+/// The Figure 6 example.
+#[derive(Debug, Default)]
+pub struct BoundedCounter;
+
+impl Example for BoundedCounter {
+    fn name(&self) -> &'static str {
+        "bounded_counter"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn annotation(&self) -> &'static str {
+        ANNOTATION
+    }
+
+    fn paper(&self) -> PaperRow {
+        PaperRow {
+            impl_lines: 20,
+            annot: (41, 7),
+            custom: 0,
+            hints: (4, 0),
+            time: "0:11",
+            dia_total: (73, 7),
+            iris: None,
+            starling: None,
+            caper: Some(ToolStat::new(50, 2)),
+            voila: Some(ToolStat::new(79, 9)),
+        }
+    }
+
+    fn verify(&self) -> Result<ExampleOutcome, Box<Stuck>> {
+        let s = build_with_source(SOURCE);
+        let registry = diaframe_ghost::Registry::standard();
+        let jobs: Vec<_> = s
+            .specs
+            .iter()
+            .map(|sp| (sp, VerifyOptions::automatic()))
+            .collect();
+        s.ws.verify_all(&registry, &jobs)
+    }
+
+    fn verify_broken(&self) -> Option<Result<ExampleOutcome, Box<Stuck>>> {
+        // Sabotage: the wraparound is off by one (CAS to b instead of 0),
+        // breaking the `n < b` invariant.
+        let broken = "\
+def make _ := ref 0
+def incr a :=
+  let b := fst a in
+  let c := snd a in
+  let v := !c in
+  if v = b - 1
+  then (if CAS(c, v, b) then v else incr a)
+  else (if CAS(c, v, v + 1) then v else incr a)
+def read c := !c
+";
+        let s = build_with_source(broken);
+        let registry = diaframe_ghost::Registry::standard();
+        Some(
+            s.ws
+                .verify_all(&registry, &[(&s.specs[1], VerifyOptions::automatic())]),
+        )
+    }
+
+    fn adequacy_program(&self) -> Option<(Expr, Val)> {
+        // Bound 3: four increments wrap to 1.
+        let main = parse_expr(
+            "let c := make () in
+             incr (3, c) ;; incr (3, c) ;; incr (3, c) ;; incr (3, c) ;;
+             read c",
+        )
+        .expect("client parses");
+        let s = build_with_source(SOURCE);
+        Some((
+            diaframe_heaplang::parser::link(s.ws.defs(), &main),
+            Val::Int(1),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_fully_automatically() {
+        let outcome = BoundedCounter
+            .verify()
+            .unwrap_or_else(|e| panic!("bounded_counter stuck:\n{e}"));
+        assert_eq!(outcome.manual_steps, 0);
+        outcome.check_all().expect("traces replay");
+    }
+
+    #[test]
+    fn broken_variant_fails() {
+        assert!(BoundedCounter.verify_broken().expect("broken").is_err());
+    }
+
+    #[test]
+    fn adequacy() {
+        let (prog, expected) = BoundedCounter.adequacy_program().expect("client");
+        for v in diaframe_heaplang::interp::run_schedules(&prog, 5, 1_000_000) {
+            assert_eq!(v, expected);
+        }
+    }
+}

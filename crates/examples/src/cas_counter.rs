@@ -1,0 +1,249 @@
+//! The CAS counter (Caper's `CASCounter`).
+//!
+//! A counter incremented by a CAS retry loop. The specification uses
+//! monotone ghost state: `mono_lb γ k` is a persistent lower bound on the
+//! counter value, so `read` returns at least any previously observed
+//! value and `incr` certifies the counter passed `n + 1`. Verifies fully
+//! automatically (0 manual lines in Figure 6).
+
+use crate::common::{eq, ex, inv, pt, sep, tm, Example, ExampleOutcome, PaperRow, ToolStat, Ws};
+use diaframe_core::{Spec, Stuck, VerifyOptions};
+use diaframe_ghost::monotone::{mono, mono_lb};
+use diaframe_heaplang::{parse_expr, Expr, Val};
+use diaframe_logic::{Assertion, PredTable};
+use diaframe_term::{PureProp, Sort, Term};
+
+/// The implementation.
+pub const SOURCE: &str = "\
+def make_counter _ := ref 0
+def incr c := let v := !c in if CAS(c, v, v + 1) then v else incr c
+def read c := !c
+";
+
+/// Specifications and the counter invariant.
+pub const ANNOTATION: &str = "\
+counter_inv γ l := ∃ n. l ↦ #n ∗ ⌜0 ≤ n⌝ ∗ mono γ n
+is_counter γ c := ∃ l. ⌜c = #l⌝ ∗ inv N (counter_inv γ l)
+SPEC {{ True }} make_counter () {{ c γ, RET c; is_counter γ c ∗ mono_lb γ 0 }}
+SPEC {{ is_counter γ c ∗ mono_lb γ k }} incr c {{ n, RET #n; ⌜k ≤ n⌝ ∗ mono_lb γ (n+1) }}
+SPEC {{ is_counter γ c ∗ mono_lb γ k }} read c {{ n, RET #n; ⌜k ≤ n⌝ ∗ mono_lb γ n }}
+";
+
+/// The built specs, shared with the client example.
+pub struct CasCounterSpecs {
+    /// The workspace.
+    pub ws: Ws,
+    /// `make_counter`'s spec.
+    pub make_counter: Spec,
+    /// `incr`'s spec.
+    pub incr: Spec,
+    /// `read`'s spec.
+    pub read: Spec,
+}
+
+fn is_counter(ws: &mut Ws, gamma: Term, c: Term) -> Assertion {
+    let l = ws.v(Sort::Loc, "l");
+    let n = ws.v(Sort::Int, "n");
+    let counter_inv = ex(
+        n,
+        sep([
+            pt(Term::var(l), tm::vint(Term::var(n))),
+            Assertion::pure(PureProp::le(Term::int(0), Term::var(n))),
+            Assertion::atom(mono(gamma, Term::var(n))),
+        ]),
+    );
+    ex(
+        l,
+        sep([eq(c, tm::vloc(Term::var(l))), inv("counter", counter_inv)]),
+    )
+}
+
+/// Builds the workspace and specs from the given source.
+#[must_use]
+pub fn build_with_source(source: &str) -> CasCounterSpecs {
+    let mut ws = Ws::new(PredTable::new(), source);
+
+    // make_counter.
+    let a = ws.v(Sort::Val, "a");
+    let w = ws.v(Sort::Val, "w");
+    let g = ws.v(Sort::GhostName, "γ");
+    let post = {
+        let body = sep([
+            is_counter(&mut ws, Term::var(g), Term::var(w)),
+            Assertion::atom(mono_lb(Term::var(g), Term::int(0))),
+        ]);
+        ex(g, body)
+    };
+    let make_counter = ws.spec(
+        "make_counter",
+        "make_counter",
+        a,
+        Vec::new(),
+        Assertion::emp(),
+        w,
+        post,
+    );
+
+    // incr (with a lower-bound premise so two incrs compose in clients).
+    let c = ws.v(Sort::Val, "c");
+    let g = ws.v(Sort::GhostName, "γ");
+    let k = ws.v(Sort::Int, "k");
+    let w = ws.v(Sort::Val, "w");
+    let n = ws.v(Sort::Int, "n");
+    let pre = sep([
+        is_counter(&mut ws, Term::var(g), Term::var(c)),
+        Assertion::atom(mono_lb(Term::var(g), Term::var(k))),
+    ]);
+    let post = ex(
+        n,
+        sep([
+            eq(Term::var(w), tm::vint(Term::var(n))),
+            Assertion::pure(PureProp::le(Term::var(k), Term::var(n))),
+            Assertion::atom(mono_lb(
+                Term::var(g),
+                Term::add(Term::var(n), Term::int(1)),
+            )),
+        ]),
+    );
+    let incr = ws.spec("incr", "incr", c, vec![g, k], pre, w, post);
+
+    // read.
+    let c = ws.v(Sort::Val, "c");
+    let g = ws.v(Sort::GhostName, "γ");
+    let k = ws.v(Sort::Int, "k");
+    let w = ws.v(Sort::Val, "w");
+    let n = ws.v(Sort::Int, "n");
+    let pre = sep([
+        is_counter(&mut ws, Term::var(g), Term::var(c)),
+        Assertion::atom(mono_lb(Term::var(g), Term::var(k))),
+    ]);
+    let post = ex(
+        n,
+        sep([
+            eq(Term::var(w), tm::vint(Term::var(n))),
+            Assertion::pure(PureProp::le(Term::var(k), Term::var(n))),
+            Assertion::atom(mono_lb(Term::var(g), Term::var(n))),
+        ]),
+    );
+    let read = ws.spec("read", "read", c, vec![g, k], pre, w, post);
+
+    CasCounterSpecs {
+        ws,
+        make_counter,
+        incr,
+        read,
+    }
+}
+
+/// Builds the standard specs.
+#[must_use]
+pub fn build() -> CasCounterSpecs {
+    build_with_source(SOURCE)
+}
+
+/// The Figure 6 example.
+#[derive(Debug, Default)]
+pub struct CasCounter;
+
+impl Example for CasCounter {
+    fn name(&self) -> &'static str {
+        "cas_counter"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn annotation(&self) -> &'static str {
+        ANNOTATION
+    }
+
+    fn paper(&self) -> PaperRow {
+        PaperRow {
+            impl_lines: 14,
+            annot: (31, 0),
+            custom: 0,
+            hints: (2, 0),
+            time: "0:08",
+            dia_total: (56, 0),
+            iris: Some(ToolStat::new(95, 39)),
+            starling: None,
+            caper: Some(ToolStat::new(40, 0)),
+            voila: Some(ToolStat::new(68, 9)),
+        }
+    }
+
+    fn verify(&self) -> Result<ExampleOutcome, Box<Stuck>> {
+        let s = build();
+        let registry = diaframe_ghost::Registry::standard();
+        s.ws.verify_all(
+            &registry,
+            &[
+                (&s.make_counter, VerifyOptions::automatic()),
+                (&s.incr, VerifyOptions::automatic()),
+                (&s.read, VerifyOptions::automatic()),
+            ],
+        )
+    }
+
+    fn verify_broken(&self) -> Option<Result<ExampleOutcome, Box<Stuck>>> {
+        // Sabotage: incr *decrements* — the monotone lower bound in the
+        // postcondition must become unprovable.
+        let broken = "\
+def make_counter _ := ref 0
+def incr c := let v := !c in if CAS(c, v, v - 1) then v else incr c
+def read c := !c
+";
+        let s = build_with_source(broken);
+        let registry = diaframe_ghost::Registry::standard();
+        Some(
+            s.ws
+                .verify_all(&registry, &[(&s.incr, VerifyOptions::automatic())]),
+        )
+    }
+
+    fn adequacy_program(&self) -> Option<(Expr, Val)> {
+        let main = parse_expr(
+            "let c := make_counter () in
+             fork { incr c ;; () } ;;
+             incr c ;;
+             (rec wait u := if read c = 2 then read c else wait u) ()",
+        )
+        .expect("client parses");
+        let s = build();
+        Some((
+            diaframe_heaplang::parser::link(s.ws.defs(), &main),
+            Val::Int(2),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_fully_automatically() {
+        let outcome = CasCounter
+            .verify()
+            .unwrap_or_else(|e| panic!("cas_counter stuck:\n{e}"));
+        assert_eq!(outcome.manual_steps, 0);
+        assert_eq!(outcome.proofs.len(), 3);
+        outcome.check_all().expect("traces replay");
+        assert!(outcome.hints_used().iter().any(|h| h.contains("mono")));
+    }
+
+    #[test]
+    fn broken_variant_fails() {
+        let result = CasCounter.verify_broken().expect("has a broken variant");
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn adequacy() {
+        let (prog, expected) = CasCounter.adequacy_program().expect("has a client");
+        for v in diaframe_heaplang::interp::run_schedules(&prog, 15, 2_000_000) {
+            assert_eq!(v, expected);
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Shared infrastructure for the benchmark examples.
+
+use diaframe_core::{Spec, SpecTable, Stuck, VerifiedProof, VerifyOptions};
+use diaframe_core::ctx::ProofCtx;
+use diaframe_ghost::Registry;
+use diaframe_heaplang::parser::{parse_program, Def};
+use diaframe_heaplang::{Expr, Val};
+use diaframe_logic::{Assertion, Atom, Binder, Namespace, PredId, PredTable};
+use diaframe_term::{PureProp, Qp, Sort, Subst, Term, VarId};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// The paper-reported numbers for one tool on one example: `(total, proof)`
+/// — `n/m` in Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToolStat {
+    /// Total lines.
+    pub total: u32,
+    /// Of which proof work.
+    pub proof: u32,
+}
+
+impl ToolStat {
+    #[must_use]
+    /// A comparison-tool entry with `total` annotation lines, `proof` of which are proof script.
+    pub fn new(total: u32, proof: u32) -> ToolStat {
+        ToolStat { total, proof }
+    }
+}
+
+/// The paper-reported row of Figure 6 for one example.
+#[derive(Debug, Clone, Default)]
+pub struct PaperRow {
+    /// Lines of implementation.
+    pub impl_lines: u32,
+    /// Annotation lines `n/m` (total / proof work).
+    pub annot: (u32, u32),
+    /// Lines of proof-search customization.
+    pub custom: u32,
+    /// Hints used `h(c)` (total, of which custom).
+    pub hints: (u32, u32),
+    /// Verification time `m:ss`.
+    pub time: &'static str,
+    /// Diaframe total `n/m`.
+    pub dia_total: (u32, u32),
+    /// Manual-Iris total, if the example exists in the Iris distribution.
+    pub iris: Option<ToolStat>,
+    /// Starling total, if applicable.
+    pub starling: Option<ToolStat>,
+    /// Caper total, if applicable.
+    pub caper: Option<ToolStat>,
+    /// Voila total, if applicable.
+    pub voila: Option<ToolStat>,
+}
+
+/// The measured outcome of verifying one example.
+#[derive(Debug)]
+pub struct ExampleOutcome {
+    /// One verified proof per specification.
+    pub proofs: Vec<VerifiedProof>,
+    /// Manual steps supplied (tactics + custom hints) — the unit of
+    /// "proof work".
+    pub manual_steps: usize,
+}
+
+impl ExampleOutcome {
+    /// Distinct hint rules used across all proofs.
+    #[must_use]
+    pub fn hints_used(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for p in &self.proofs {
+            out.extend(p.trace.hints_used());
+        }
+        out
+    }
+
+    /// Distinct custom hint rules used.
+    #[must_use]
+    pub fn custom_hints_used(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for p in &self.proofs {
+            out.extend(p.trace.custom_hints_used());
+        }
+        out
+    }
+
+    /// Replays all traces through the checker.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first checker failure.
+    pub fn check_all(&self) -> Result<(), diaframe_core::checker::CheckError> {
+        for p in &self.proofs {
+            p.check()?;
+        }
+        Ok(())
+    }
+}
+
+/// One benchmark example.
+pub trait Example: Sync + Send {
+    /// The Figure 6 row name.
+    fn name(&self) -> &'static str;
+
+    /// The HeapLang source (the `impl` column counts its lines).
+    fn source(&self) -> &'static str;
+
+    /// The annotation: a textual rendering of specifications + invariants
+    /// (the `annot` column counts its lines).
+    fn annotation(&self) -> &'static str;
+
+    /// The paper-reported statistics.
+    fn paper(&self) -> PaperRow;
+
+    /// Verifies every specification of the example.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stuck report if automation (plus the example's
+    /// documented manual steps) fails.
+    fn verify(&self) -> Result<ExampleOutcome, Box<Stuck>>;
+
+    /// A sabotaged variant (wrong code or wrong postcondition) that must
+    /// *fail* to verify — the §6 failing-verification experiment.
+    fn verify_broken(&self) -> Option<Result<ExampleOutcome, Box<Stuck>>> {
+        None
+    }
+
+    /// A closed client program and its expected result, for the executable
+    /// adequacy test (run under many schedules).
+    fn adequacy_program(&self) -> Option<(Expr, Val)> {
+        None
+    }
+}
+
+/// Counts the non-empty lines of a source string (the unit of the `impl`
+/// and `annot` columns).
+#[must_use]
+pub fn count_lines(src: &str) -> usize {
+    src.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+/// A workspace for building one example's specs: owns the proof context
+/// template (cloned per verification), the parsed + linked functions, and
+/// the spec table.
+pub struct Ws {
+    /// The proof-context template.
+    pub ctx: ProofCtx,
+    /// The registered specifications.
+    pub specs: SpecTable,
+    funcs: HashMap<String, Val>,
+    defs: Vec<Def>,
+}
+
+impl Ws {
+    /// Parses the source and links its definitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parse errors or unresolved names (the sources are static
+    /// program text, so this is a programming error in the example).
+    #[must_use]
+    pub fn new(preds: PredTable, source: &str) -> Ws {
+        let defs = parse_program(source).expect("example source parses");
+        let mut funcs: HashMap<String, Val> = HashMap::new();
+        for def in &defs {
+            let mut body = def.body.clone();
+            for (name, val) in &funcs {
+                body = body.subst(name, val);
+            }
+            assert!(
+                body.is_closed(),
+                "definition {} mentions undefined {:?}",
+                def.name,
+                body.free_vars()
+            );
+            let val = body
+                .to_rec_val()
+                .or_else(|| body.as_val().cloned())
+                .unwrap_or_else(|| panic!("definition {} is not a value", def.name));
+            funcs.insert(def.name.clone(), val);
+        }
+        Ws {
+            ctx: ProofCtx::new(preds),
+            specs: SpecTable::new(),
+            funcs,
+            defs,
+        }
+    }
+
+    /// The linked function value for a definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no definition has that name.
+    #[must_use]
+    pub fn func(&self, name: &str) -> Val {
+        self.funcs
+            .get(name)
+            .unwrap_or_else(|| panic!("no definition named {name}"))
+            .clone()
+    }
+
+    /// The parsed definitions (for building adequacy clients).
+    #[must_use]
+    pub fn defs(&self) -> &[Def] {
+        &self.defs
+    }
+
+    /// A fresh placeholder variable.
+    pub fn v(&mut self, sort: Sort, name: &str) -> VarId {
+        self.ctx.vars.fresh_var(sort, name)
+    }
+
+    /// A fresh placeholder as a term.
+    pub fn t(&mut self, sort: Sort, name: &str) -> Term {
+        Term::var(self.v(sort, name))
+    }
+
+    /// Registers a spec and returns it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spec(
+        &mut self,
+        name: &str,
+        func: &str,
+        arg: VarId,
+        binders: Vec<VarId>,
+        pre: Assertion,
+        ret: VarId,
+        post: Assertion,
+    ) -> Spec {
+        let spec = Spec {
+            name: name.to_owned(),
+            func: self.func(func),
+            arg,
+            binders,
+            pre,
+            ret,
+            post,
+            atomic: false,
+        };
+        self.specs.register(spec.clone());
+        spec
+    }
+
+    /// Verifies a list of specs (with per-spec options), producing the
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stuck report.
+    pub fn verify_all(
+        &self,
+        registry: &Registry,
+        specs_with_opts: &[(&Spec, VerifyOptions)],
+    ) -> Result<ExampleOutcome, Box<Stuck>> {
+        let mut proofs = Vec::new();
+        // Manual proof work is the customization *written* (tactics +
+        // custom hints), shared across the example's specs — count the
+        // largest per-spec script, not the per-spec sum.
+        let mut manual = 0;
+        for (spec, opts) in specs_with_opts {
+            manual = manual.max(opts.manual_steps());
+            let proof =
+                diaframe_core::verify(registry, &self.specs, opts, self.ctx.clone(), spec)?;
+            proofs.push(proof);
+        }
+        Ok(ExampleOutcome {
+            proofs,
+            manual_steps: manual,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Assertion-building conveniences.
+// ---------------------------------------------------------------------
+
+/// `ℓ ↦ v`.
+#[must_use]
+pub fn pt(l: Term, v: Term) -> Assertion {
+    Assertion::atom(Atom::points_to(l, v))
+}
+
+/// `ℓ ↦{q} v`.
+#[must_use]
+pub fn pt_frac(l: Term, q: Term, v: Term) -> Assertion {
+    Assertion::atom(Atom::points_to_frac(l, q, v))
+}
+
+/// `⌜a = b⌝`.
+#[must_use]
+pub fn eq(a: Term, b: Term) -> Assertion {
+    Assertion::pure(PureProp::eq(a, b))
+}
+
+/// `∃x. body`.
+#[must_use]
+pub fn ex(x: VarId, body: Assertion) -> Assertion {
+    Assertion::exists(Binder::new(x), body)
+}
+
+/// `a ∗ b ∗ …`.
+#[must_use]
+pub fn sep<I: IntoIterator<Item = Assertion>>(items: I) -> Assertion {
+    Assertion::sep_list(items)
+}
+
+/// `a ∨ b`.
+#[must_use]
+pub fn or(a: Assertion, b: Assertion) -> Assertion {
+    Assertion::or(a, b)
+}
+
+/// `inv N (body)`.
+#[must_use]
+pub fn inv(ns: &str, body: Assertion) -> Assertion {
+    Assertion::atom(Atom::invariant(Namespace::new(ns), body))
+}
+
+/// An abstract predicate application.
+#[must_use]
+pub fn papp(p: PredId, args: Vec<Term>) -> Assertion {
+    Assertion::atom(Atom::PredApp { pred: p, args })
+}
+
+/// The `#b`/`#n`/`#ℓ` embeddings and fraction literals, re-exported for
+/// terse example code.
+pub mod tm {
+    use super::{Qp, Term};
+
+    /// `#n` for an integer term.
+    #[must_use]
+    pub fn vint(t: Term) -> Term {
+        Term::v_int(t)
+    }
+
+    /// `#n` for an integer literal.
+    #[must_use]
+    pub fn int(n: i128) -> Term {
+        Term::v_int_lit(n)
+    }
+
+    /// `#b` for a boolean term.
+    #[must_use]
+    pub fn vbool(t: Term) -> Term {
+        Term::v_bool(t)
+    }
+
+    /// `#true` / `#false`.
+    #[must_use]
+    pub fn boolean(b: bool) -> Term {
+        Term::v_bool_lit(b)
+    }
+
+    /// `#ℓ` for a location term.
+    #[must_use]
+    pub fn vloc(t: Term) -> Term {
+        Term::v_loc(t)
+    }
+
+    /// `#()`.
+    #[must_use]
+    pub fn unit() -> Term {
+        Term::v_unit()
+    }
+
+    /// The fraction `1`.
+    #[must_use]
+    pub fn one() -> Term {
+        Term::qp_one()
+    }
+
+    /// The fraction `1/2`.
+    #[must_use]
+    pub fn half() -> Term {
+        Term::qp(Qp::half())
+    }
+}
+
+/// Instantiates a template assertion at the given placeholder bindings.
+#[must_use]
+pub fn inst(template: &Assertion, bindings: &[(VarId, Term)]) -> Assertion {
+    let s: Subst = bindings.iter().cloned().collect();
+    template.subst(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_counting_skips_blanks() {
+        assert_eq!(count_lines("a\n\n  \nb\n"), 2);
+    }
+
+    #[test]
+    fn workspace_links_functions() {
+        let ws = Ws::new(
+            PredTable::new(),
+            "def f x := x + 1\ndef g y := f (f y)",
+        );
+        assert!(matches!(ws.func("f"), Val::Rec { .. }));
+        assert!(matches!(ws.func("g"), Val::Rec { .. }));
+        assert_eq!(ws.defs().len(), 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! `inc_dec` (Caper's `IncDec`): a counter that can be concurrently
+//! incremented and decremented by CAS retry loops.
+//!
+//! The specification proves safety and the return-value shape (the
+//! operation returns the value it replaced), with the invariant merely
+//! owning the location — the Caper-style "no functional spec" benchmark.
+
+use crate::common::{eq, ex, inv, pt, sep, tm, Example, ExampleOutcome, PaperRow, ToolStat, Ws};
+use diaframe_core::{Spec, Stuck, VerifyOptions};
+use diaframe_heaplang::{parse_expr, Expr, Val};
+use diaframe_logic::{Assertion, PredTable};
+use diaframe_term::{Sort, Term};
+
+/// The implementation.
+pub const SOURCE: &str = "\
+def make _ := ref 0
+def incr c := let v := !c in if CAS(c, v, v + 1) then v else incr c
+def decr c := let v := !c in if CAS(c, v, v - 1) then v else decr c
+def get c := !c
+";
+
+/// Specifications and the invariant.
+pub const ANNOTATION: &str = "\
+incdec_inv l := ∃ n. l ↦ #n
+is_incdec c := ∃ l. ⌜c = #l⌝ ∗ inv N (incdec_inv l)
+SPEC {{ True }} make () {{ c, RET c; is_incdec c }}
+SPEC {{ is_incdec c }} incr c {{ n, RET #n; True }}
+SPEC {{ is_incdec c }} decr c {{ n, RET #n; True }}
+SPEC {{ is_incdec c }} get c {{ n, RET #n; True }}
+";
+
+/// Built specs.
+pub struct IncDecSpecs {
+    /// Workspace.
+    pub ws: Ws,
+    /// All four specs, in source order.
+    pub specs: Vec<Spec>,
+}
+
+fn is_incdec(ws: &mut Ws, c: Term) -> Assertion {
+    let l = ws.v(Sort::Loc, "l");
+    let n = ws.v(Sort::Int, "n");
+    let body = ex(n, pt(Term::var(l), tm::vint(Term::var(n))));
+    ex(
+        l,
+        sep([eq(c, tm::vloc(Term::var(l))), inv("incdec", body)]),
+    )
+}
+
+/// Builds the workspace and specs.
+#[must_use]
+pub fn build_with_source(source: &str) -> IncDecSpecs {
+    let mut ws = Ws::new(PredTable::new(), source);
+    let mut specs = Vec::new();
+
+    let a = ws.v(Sort::Val, "a");
+    let w = ws.v(Sort::Val, "w");
+    let post = is_incdec(&mut ws, Term::var(w));
+    specs.push(ws.spec("make", "make", a, Vec::new(), Assertion::emp(), w, post));
+
+    for name in ["incr", "decr", "get"] {
+        let c = ws.v(Sort::Val, "c");
+        let w = ws.v(Sort::Val, "w");
+        let n = ws.v(Sort::Int, "n");
+        let pre = is_incdec(&mut ws, Term::var(c));
+        let post = ex(n, eq(Term::var(w), tm::vint(Term::var(n))));
+        specs.push(ws.spec(name, name, c, Vec::new(), pre, w, post));
+    }
+    IncDecSpecs { ws, specs }
+}
+
+/// The Figure 6 example.
+#[derive(Debug, Default)]
+pub struct IncDec;
+
+impl Example for IncDec {
+    fn name(&self) -> &'static str {
+        "inc_dec"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn annotation(&self) -> &'static str {
+        ANNOTATION
+    }
+
+    fn paper(&self) -> PaperRow {
+        PaperRow {
+            impl_lines: 23,
+            annot: (44, 0),
+            custom: 0,
+            hints: (6, 0),
+            time: "0:31",
+            dia_total: (78, 0),
+            iris: None,
+            starling: None,
+            caper: Some(ToolStat::new(54, 0)),
+            voila: Some(ToolStat::new(99, 12)),
+        }
+    }
+
+    fn verify(&self) -> Result<ExampleOutcome, Box<Stuck>> {
+        let s = build_with_source(SOURCE);
+        let registry = diaframe_ghost::Registry::standard();
+        let jobs: Vec<_> = s
+            .specs
+            .iter()
+            .map(|sp| (sp, VerifyOptions::automatic()))
+            .collect();
+        s.ws.verify_all(&registry, &jobs)
+    }
+
+    fn verify_broken(&self) -> Option<Result<ExampleOutcome, Box<Stuck>>> {
+        // Sabotage: get dereferences the wrong thing (not a counter).
+        let broken = "\
+def make _ := ref 0
+def incr c := let v := !c in if CAS(c, v, v + 1) then v else incr c
+def decr c := let v := !c in if CAS(c, v, v - 1) then v else decr c
+def get c := ! !c
+";
+        let s = build_with_source(broken);
+        let registry = diaframe_ghost::Registry::standard();
+        Some(
+            s.ws
+                .verify_all(&registry, &[(&s.specs[3], VerifyOptions::automatic())]),
+        )
+    }
+
+    fn adequacy_program(&self) -> Option<(Expr, Val)> {
+        let main = parse_expr(
+            "let c := make () in
+             fork { incr c ;; () } ;;
+             fork { decr c ;; () } ;;
+             incr c ;;
+             get c ;; 0",
+        )
+        .expect("client parses");
+        let s = build_with_source(SOURCE);
+        Some((
+            diaframe_heaplang::parser::link(s.ws.defs(), &main),
+            Val::Int(0),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_fully_automatically() {
+        let outcome = IncDec
+            .verify()
+            .unwrap_or_else(|e| panic!("inc_dec stuck:\n{e}"));
+        assert_eq!(outcome.manual_steps, 0);
+        assert_eq!(outcome.proofs.len(), 4);
+        outcome.check_all().expect("traces replay");
+    }
+
+    #[test]
+    fn broken_variant_fails() {
+        assert!(IncDec.verify_broken().expect("broken variant").is_err());
+    }
+
+    #[test]
+    fn adequacy() {
+        let (prog, expected) = IncDec.adequacy_program().expect("client");
+        for v in diaframe_heaplang::interp::run_schedules(&prog, 10, 1_000_000) {
+            assert_eq!(v, expected);
+        }
+    }
+}

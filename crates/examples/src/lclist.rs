@@ -1,0 +1,387 @@
+//! A lock-protected linked list of integers (`lclist` [16, 87]).
+//!
+//! A spin lock protects a singly linked list; `add` prepends, `contains`
+//! traverses. The list is described by the recursive `llchain` predicate,
+//! axiomatised — as the paper does for recursive definitions — through
+//! custom fold hints and an unfold tactic. (The original benchmark uses
+//! hand-over-hand locking; this reproduction verifies the coarse-grained
+//! variant, see EXPERIMENTS.md.)
+
+use crate::common::{
+    eq, ex, or, pt, sep, tm, Example, ExampleOutcome, PaperRow, ToolStat, Ws,
+};
+use crate::spin_lock::{is_lock_with, lock_instance, LockInstance};
+use diaframe_core::{Spec, Stuck, VerifyOptions};
+use diaframe_ghost::HintCandidate;
+use diaframe_heaplang::{parse_expr, Expr, Val};
+use diaframe_logic::{Assertion, Atom, PredId, PredTable};
+use diaframe_term::{PureProp, Sort, Term};
+
+/// The implementation. The list handle is `(lk, (head_cell, null))`.
+pub const SOURCE: &str = "\
+def newlock u := ref false
+def acquire l := if CAS(l, false, true) then () else acquire l
+def release l := l <- false
+def newlist _ :=
+  let null := ref 0 in
+  let hd := ref null in
+  (newlock (), (hd, null))
+def find a :=
+  let h := fst a in
+  let k := fst (snd a) in
+  let null := snd (snd a) in
+  if h = null
+  then false
+  else (let p := !h in
+        if fst p = k then true else find (snd p, (k, null)))
+def contains a :=
+  let w := fst a in
+  let k := snd a in
+  acquire (fst w) ;;
+  let r := find (!(fst (snd w)), (k, snd (snd w))) in
+  release (fst w) ;;
+  r
+def add a :=
+  let w := fst a in
+  let k := snd a in
+  acquire (fst w) ;;
+  let hd := fst (snd w) in
+  let n := ref (k, !hd) in
+  hd <- n ;;
+  release (fst w)
+";
+
+/// Specifications and the recursive list predicate.
+pub const ANNOTATION: &str = "\
+llchain h nl := ⌜h = nl⌝ ∨ ∃ l k nx. ⌜h = #l⌝ ∗ l ↦ (#k, nx) ∗ llchain nx nl
+R_list hd null := ∃ h. hd ↦ h ∗ llchain h #null
+is_list γ w := ∃ lk hd null. ⌜w = (lk, (#hd, #null))⌝ ∗ is_lock γ lk (R_list hd null)
+SPEC {{ True }} newlist () {{ w γ, RET w; is_list γ w }}
+SPEC {{ ⌜a = (h, (#k, #null))⌝ ∗ llchain h #null }} find a
+     {{ r, RET r; ∃ bb. ⌜r = #bb⌝ ∗ llchain h #null }}
+SPEC {{ ⌜a = (w, #k)⌝ ∗ is_list γ w }} contains a {{ r, RET r; ∃ bb. ⌜r = #bb⌝ }}
+SPEC {{ ⌜a = (w, #k)⌝ ∗ is_list γ w }} add a {{ RET #(); True }}
+custom hints: llchain fold (nil/cons) and unfold
+";
+
+/// The built specs.
+pub struct LclistSpecs {
+    /// Workspace.
+    pub ws: Ws,
+    /// The recursive predicate.
+    pub llchain: PredId,
+    /// The lock instance.
+    pub lock: LockInstance,
+    /// newlist / find / contains / add.
+    pub specs: Vec<Spec>,
+}
+
+/// `chain hd nl`: the list segment from head pointer `hd` to the integer list `nl`.
+pub fn chain_app(chain: PredId, h: Term, nl: Term) -> Assertion {
+    Assertion::atom(Atom::PredApp {
+        pred: chain,
+        args: vec![h, nl],
+    })
+}
+
+/// The shared chain hint set for fully-owned integer lists: fold hints and
+/// the unconditional one-level unfold.
+pub fn llchain_options(chain: PredId) -> VerifyOptions {
+    VerifyOptions::automatic()
+        .with_backtracking()
+        .with_custom_alloc("llchain-fold", move |vars, goal| {
+            let Atom::PredApp { pred, args } = goal else {
+                return Vec::new();
+            };
+            if *pred != chain {
+                return Vec::new();
+            }
+            let (h, nl) = (args[0].clone(), args[1].clone());
+            let nil =
+                HintCandidate::new("llchain-fold-nil").guard(PureProp::eq(h.clone(), nl.clone()));
+            let l = vars.fresh_evar(Sort::Loc);
+            let k = vars.fresh_evar(Sort::Int);
+            let nx = vars.fresh_evar(Sort::Val);
+            let cons = HintCandidate::new("llchain-fold-cons")
+                .unify(h, Term::v_loc(Term::evar(l)))
+                .side(sep([
+                    Assertion::atom(Atom::points_to(
+                        Term::evar(l),
+                        Term::v_pair(Term::v_int(Term::evar(k)), Term::evar(nx)),
+                    )),
+                    chain_app(chain, Term::evar(nx), nl),
+                ]));
+            vec![nil, cons]
+        })
+        .with_unfold("llchain-unfold", move |ctx| {
+            // One-level definitional unfold of the newest chain hypothesis
+            // (full ownership: both cases are materialised; facts prune).
+            let vars_l = ctx.vars.fresh_var(Sort::Loc, "l");
+            let vars_k = ctx.vars.fresh_var(Sort::Int, "k");
+            let vars_nx = ctx.vars.fresh_var(Sort::Val, "nx");
+            for (idx, hyp) in ctx.delta.iter().enumerate().rev() {
+                let Assertion::Atom(Atom::PredApp { pred, args }) = &hyp.assertion else {
+                    continue;
+                };
+                if *pred != chain {
+                    continue;
+                }
+                let (h, nl) = (args[0].clone(), args[1].clone());
+                let l = vars_l;
+                let k = vars_k;
+                let nx = vars_nx;
+                let cons = Assertion::exists(
+                    diaframe_logic::Binder::new(l),
+                    Assertion::exists(
+                        diaframe_logic::Binder::new(k),
+                        Assertion::exists(
+                            diaframe_logic::Binder::new(nx),
+                            sep([
+                                eq(h.clone(), tm::vloc(Term::var(l))),
+                                pt(
+                                    Term::var(l),
+                                    Term::v_pair(Term::v_int(Term::var(k)), Term::var(nx)),
+                                ),
+                                chain_app(chain, Term::var(nx), nl.clone()),
+                            ]),
+                        ),
+                    ),
+                );
+                return Some((idx, or(eq(h, nl), cons)));
+            }
+            None
+        })
+}
+
+fn r_list(ws: &mut Ws, chain: PredId, hd: Term, null: Term) -> Assertion {
+    let h = ws.v(Sort::Val, "h");
+    ex(
+        h,
+        sep([
+            pt(hd, Term::var(h)),
+            chain_app(chain, Term::var(h), tm::vloc(null)),
+        ]),
+    )
+}
+
+/// Builds the workspace and specs.
+#[must_use]
+pub fn build_with_source(source: &str) -> LclistSpecs {
+    let mut preds = PredTable::new();
+    let llchain = preds.fresh_pred("llchain", 2);
+    let mut ws = Ws::new(preds, source);
+
+    let hd = ws.v(Sort::Loc, "hd");
+    let null = ws.v(Sort::Loc, "null");
+    let lock = lock_instance(&mut ws, "list", &[hd, null], &|ws| {
+        r_list(ws, llchain, Term::var(hd), Term::var(null))
+    });
+
+    let mut specs = Vec::new();
+
+    // newlist.
+    let a = ws.v(Sort::Val, "a");
+    let w = ws.v(Sort::Val, "w");
+    let g = ws.v(Sort::GhostName, "γ");
+    let post = {
+        let body = is_list(&mut ws, llchain, Term::var(g), Term::var(w));
+        ex(g, body)
+    };
+    specs.push(ws.spec(
+        "newlist",
+        "newlist",
+        a,
+        Vec::new(),
+        Assertion::emp(),
+        w,
+        post,
+    ));
+
+    // find.
+    let a = ws.v(Sort::Val, "a");
+    let h = ws.v(Sort::Val, "h");
+    let k = ws.v(Sort::Int, "k");
+    let null = ws.v(Sort::Loc, "null");
+    let w = ws.v(Sort::Val, "w");
+    let bb = ws.v(Sort::Bool, "bb");
+    let pre = sep([
+        eq(
+            Term::var(a),
+            Term::v_pair(
+                Term::var(h),
+                Term::v_pair(tm::vint(Term::var(k)), tm::vloc(Term::var(null))),
+            ),
+        ),
+        chain_app(llchain, Term::var(h), tm::vloc(Term::var(null))),
+    ]);
+    let post = ex(
+        bb,
+        sep([
+            eq(Term::var(w), tm::vbool(Term::var(bb))),
+            chain_app(llchain, Term::var(h), tm::vloc(Term::var(null))),
+        ]),
+    );
+    specs.push(ws.spec("find", "find", a, vec![h, k, null], pre, w, post));
+
+    // contains / add.
+    for name in ["contains", "add"] {
+        let a = ws.v(Sort::Val, "a");
+        let wv = ws.v(Sort::Val, "wv");
+        let k = ws.v(Sort::Int, "k");
+        let g = ws.v(Sort::GhostName, "γ");
+        let w = ws.v(Sort::Val, "w");
+        let pre = sep([
+            eq(
+                Term::var(a),
+                Term::v_pair(Term::var(wv), tm::vint(Term::var(k))),
+            ),
+            is_list(&mut ws, llchain, Term::var(g), Term::var(wv)),
+        ]);
+        let post = if name == "contains" {
+            let bb = ws.v(Sort::Bool, "bb");
+            ex(bb, eq(Term::var(w), tm::vbool(Term::var(bb))))
+        } else {
+            eq(Term::var(w), tm::unit())
+        };
+        specs.push(ws.spec(name, name, a, vec![wv, k, g], pre, w, post));
+    }
+
+    LclistSpecs {
+        ws,
+        llchain,
+        lock,
+        specs,
+    }
+}
+
+fn is_list(ws: &mut Ws, chain: PredId, g: Term, w: Term) -> Assertion {
+    let lk = ws.v(Sort::Val, "lk");
+    let hd = ws.v(Sort::Loc, "hd");
+    let null = ws.v(Sort::Loc, "null");
+    let res = r_list(ws, chain, Term::var(hd), Term::var(null));
+    let lockpart = is_lock_with(ws, "list", res, g, Term::var(lk));
+    ex(
+        lk,
+        ex(
+            hd,
+            ex(
+                null,
+                sep([
+                    eq(
+                        w,
+                        Term::v_pair(
+                            Term::var(lk),
+                            Term::v_pair(tm::vloc(Term::var(hd)), tm::vloc(Term::var(null))),
+                        ),
+                    ),
+                    lockpart,
+                ]),
+            ),
+        ),
+    )
+}
+
+/// The Figure 6 example.
+#[derive(Debug, Default)]
+pub struct Lclist;
+
+impl Example for Lclist {
+    fn name(&self) -> &'static str {
+        "lclist"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn annotation(&self) -> &'static str {
+        ANNOTATION
+    }
+
+    fn paper(&self) -> PaperRow {
+        PaperRow {
+            impl_lines: 28,
+            annot: (34, 5),
+            custom: 13,
+            hints: (2, 2),
+            time: "0:27",
+            dia_total: (86, 18),
+            iris: None,
+            starling: None,
+            caper: Some(ToolStat::new(197, 134)),
+            voila: None,
+        }
+    }
+
+    fn verify(&self) -> Result<ExampleOutcome, Box<Stuck>> {
+        let s = build_with_source(SOURCE);
+        let registry = diaframe_ghost::Registry::standard();
+        let opts = llchain_options(s.llchain);
+        let mut jobs: Vec<(&Spec, VerifyOptions)> = vec![
+            (&s.lock.newlock, opts.clone()),
+            (&s.lock.acquire, opts.clone()),
+            (&s.lock.release, opts.clone()),
+        ];
+        for sp in &s.specs {
+            jobs.push((sp, opts.clone()));
+        }
+        s.ws.verify_all(&registry, &jobs)
+    }
+
+    fn verify_broken(&self) -> Option<Result<ExampleOutcome, Box<Stuck>>> {
+        // Sabotage: add stores the raw key into the head pointer — the
+        // chain predicate cannot be re-established for a non-location.
+        let broken = SOURCE.replace("hd <- n ;;", "hd <- k ;;");
+        let s = build_with_source(&broken);
+        let registry = diaframe_ghost::Registry::standard();
+        let opts = llchain_options(s.llchain);
+        Some(s.ws.verify_all(&registry, &[(&s.specs[3], opts)]))
+    }
+
+    fn adequacy_program(&self) -> Option<(Expr, Val)> {
+        let main = parse_expr(
+            "let w := newlist () in
+             add (w, 5) ;;
+             add (w, 7) ;;
+             fork { add (w, 9) } ;;
+             (if contains (w, 5) then 1 else 0) + (if contains (w, 6) then 10 else 0)",
+        )
+        .expect("client parses");
+        let s = build_with_source(SOURCE);
+        Some((
+            diaframe_heaplang::parser::link(s.ws.defs(), &main),
+            Val::Int(1),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_with_custom_hints() {
+        let outcome = Lclist
+            .verify()
+            .unwrap_or_else(|e| panic!("lclist stuck:\n{e}"));
+        assert!(outcome.manual_steps > 0);
+        outcome.check_all().expect("traces replay");
+        assert!(outcome
+            .custom_hints_used()
+            .iter()
+            .any(|h| h.contains("llchain")));
+    }
+
+    #[test]
+    fn broken_variant_fails() {
+        assert!(Lclist.verify_broken().expect("broken").is_err());
+    }
+
+    #[test]
+    fn adequacy() {
+        let (prog, expected) = Lclist.adequacy_program().expect("client");
+        for v in diaframe_heaplang::interp::run_schedules(&prog, 8, 2_000_000) {
+            assert_eq!(v, expected);
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Extra operations on the lock-protected list: `length`, `sum`,
+//! `push_back` (traversal with mutation at the end) — the paper's
+//! `lclist_extra` row (its largest implementation).
+
+use crate::common::{eq, ex, pt, sep, tm, Example, ExampleOutcome, PaperRow, Ws};
+use crate::lclist::{chain_app, llchain_options};
+use crate::spin_lock::{is_lock_with, lock_instance, LockInstance};
+use diaframe_core::{Spec, Stuck, VerifyOptions};
+use diaframe_heaplang::{parse_expr, Expr, Val};
+use diaframe_logic::{Assertion, PredId, PredTable};
+use diaframe_term::{PureProp, Sort, Term};
+
+/// The implementation: the lclist plus traversal operations.
+pub const SOURCE: &str = "\
+def newlock u := ref false
+def acquire l := if CAS(l, false, true) then () else acquire l
+def release l := l <- false
+def newlist _ :=
+  let null := ref 0 in
+  let hd := ref null in
+  (newlock (), (hd, null))
+def add a :=
+  let w := fst a in
+  let k := snd a in
+  acquire (fst w) ;;
+  let hd := fst (snd w) in
+  let n := ref (k, !hd) in
+  hd <- n ;;
+  release (fst w)
+def len_from a :=
+  let h := fst a in
+  let null := snd a in
+  if h = null then 0 else (let p := !h in 1 + len_from (snd p, null))
+def length w :=
+  acquire (fst w) ;;
+  let r := len_from (!(fst (snd w)), snd (snd w)) in
+  release (fst w) ;;
+  r
+def sum_from a :=
+  let h := fst a in
+  let null := snd a in
+  if h = null then 0 else (let p := !h in fst p + sum_from (snd p, null))
+def sum w :=
+  acquire (fst w) ;;
+  let r := sum_from (!(fst (snd w)), snd (snd w)) in
+  release (fst w) ;;
+  r
+def append_to a :=
+  let h := fst a in
+  let n := fst (snd a) in
+  let null := snd (snd a) in
+  let p := !h in
+  if snd p = null
+  then h <- (fst p, n)
+  else append_to (snd p, (n, null))
+def push_back a :=
+  let w := fst a in
+  let k := snd a in
+  acquire (fst w) ;;
+  let hd := fst (snd w) in
+  let h := !hd in
+  let n := ref (k, snd (snd w)) in
+  (if h = snd (snd w) then hd <- n else append_to (h, (n, snd (snd w)))) ;;
+  release (fst w)
+";
+
+/// Specifications.
+pub const ANNOTATION: &str = "\
+llchain h nl := ⌜h = nl⌝ ∨ ∃ l k nx. ⌜h = #l⌝ ∗ l ↦ (#k, nx) ∗ llchain nx nl
+R_list hd null := ∃ h. hd ↦ h ∗ llchain h #null
+is_list γ w := ∃ lk hd null. ⌜w = (lk, (#hd, #null))⌝ ∗ is_lock γ lk (R_list hd null)
+SPEC {{ True }} newlist () {{ w γ, RET w; is_list γ w }}
+SPEC {{ ⌜a = (w, #k)⌝ ∗ is_list γ w }} add a {{ RET #(); True }}
+SPEC {{ ⌜a = (h, #null)⌝ ∗ llchain h #null }} len_from a
+     {{ n, RET #n; ⌜0 ≤ n⌝ ∗ llchain h #null }}
+SPEC {{ is_list γ w }} length w {{ n, RET #n; ⌜0 ≤ n⌝ }}
+SPEC {{ ⌜a = (h, #null)⌝ ∗ llchain h #null }} sum_from a {{ n, RET #n; llchain h #null }}
+SPEC {{ is_list γ w }} sum w {{ n, RET #n; True }}
+SPEC {{ ⌜a = (h, (#n, #null))⌝ ∗ ⌜h ≠ #null⌝ ∗ llchain h #null ∗
+        n ↦ (#k, #null) }} append_to a {{ RET #(); llchain h #null }}
+SPEC {{ ⌜a = (w, #k)⌝ ∗ is_list γ w }} push_back a {{ RET #(); True }}
+";
+
+/// The built specs.
+pub struct LclistExtraSpecs {
+    /// Workspace.
+    pub ws: Ws,
+    /// The recursive predicate.
+    pub llchain: PredId,
+    /// The lock instance.
+    pub lock: LockInstance,
+    /// All specs in source order.
+    pub specs: Vec<Spec>,
+}
+
+fn r_list(ws: &mut Ws, chain: PredId, hd: Term, null: Term) -> Assertion {
+    let h = ws.v(Sort::Val, "h");
+    ex(
+        h,
+        sep([
+            pt(hd, Term::var(h)),
+            chain_app(chain, Term::var(h), tm::vloc(null)),
+        ]),
+    )
+}
+
+fn is_list(ws: &mut Ws, chain: PredId, g: Term, w: Term) -> Assertion {
+    let lk = ws.v(Sort::Val, "lk");
+    let hd = ws.v(Sort::Loc, "hd");
+    let null = ws.v(Sort::Loc, "null");
+    let res = r_list(ws, chain, Term::var(hd), Term::var(null));
+    let lockpart = is_lock_with(ws, "list", res, g, Term::var(lk));
+    ex(
+        lk,
+        ex(
+            hd,
+            ex(
+                null,
+                sep([
+                    eq(
+                        w,
+                        Term::v_pair(
+                            Term::var(lk),
+                            Term::v_pair(tm::vloc(Term::var(hd)), tm::vloc(Term::var(null))),
+                        ),
+                    ),
+                    lockpart,
+                ]),
+            ),
+        ),
+    )
+}
+
+/// Builds the workspace and specs.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn build_with_source(source: &str) -> LclistExtraSpecs {
+    let mut preds = PredTable::new();
+    let llchain = preds.fresh_pred("llchain", 2);
+    let mut ws = Ws::new(preds, source);
+
+    let hd = ws.v(Sort::Loc, "hd");
+    let null = ws.v(Sort::Loc, "null");
+    let lock = lock_instance(&mut ws, "list", &[hd, null], &|ws| {
+        r_list(ws, llchain, Term::var(hd), Term::var(null))
+    });
+
+    let mut specs = Vec::new();
+
+    // newlist.
+    let a = ws.v(Sort::Val, "a");
+    let w = ws.v(Sort::Val, "w");
+    let g = ws.v(Sort::GhostName, "γ");
+    let post = {
+        let body = is_list(&mut ws, llchain, Term::var(g), Term::var(w));
+        ex(g, body)
+    };
+    specs.push(ws.spec(
+        "newlist",
+        "newlist",
+        a,
+        Vec::new(),
+        Assertion::emp(),
+        w,
+        post,
+    ));
+
+    // add.
+    let a = ws.v(Sort::Val, "a");
+    let wv = ws.v(Sort::Val, "wv");
+    let k = ws.v(Sort::Int, "k");
+    let g = ws.v(Sort::GhostName, "γ");
+    let w = ws.v(Sort::Val, "w");
+    let pre = sep([
+        eq(
+            Term::var(a),
+            Term::v_pair(Term::var(wv), tm::vint(Term::var(k))),
+        ),
+        is_list(&mut ws, llchain, Term::var(g), Term::var(wv)),
+    ]);
+    specs.push(ws.spec(
+        "add",
+        "add",
+        a,
+        vec![wv, k, g],
+        pre,
+        w,
+        eq(Term::var(w), tm::unit()),
+    ));
+
+    // len_from and sum_from: traversals returning an integer.
+    for (name, bounded) in [("len_from", true), ("sum_from", false)] {
+        let a = ws.v(Sort::Val, "a");
+        let h = ws.v(Sort::Val, "h");
+        let null = ws.v(Sort::Loc, "null");
+        let w = ws.v(Sort::Val, "w");
+        let n = ws.v(Sort::Int, "n");
+        let pre = sep([
+            eq(
+                Term::var(a),
+                Term::v_pair(Term::var(h), tm::vloc(Term::var(null))),
+            ),
+            chain_app(llchain, Term::var(h), tm::vloc(Term::var(null))),
+        ]);
+        let mut post_parts = vec![eq(Term::var(w), tm::vint(Term::var(n)))];
+        if bounded {
+            post_parts.push(Assertion::pure(PureProp::le(Term::int(0), Term::var(n))));
+        }
+        post_parts.push(chain_app(llchain, Term::var(h), tm::vloc(Term::var(null))));
+        let post = ex(n, sep(post_parts));
+        specs.push(ws.spec(name, name, a, vec![h, null], pre, w, post));
+    }
+
+    // length / sum wrappers.
+    for (name, bounded) in [("length", true), ("sum", false)] {
+        let wv = ws.v(Sort::Val, "wv");
+        let g = ws.v(Sort::GhostName, "γ");
+        let w = ws.v(Sort::Val, "w");
+        let n = ws.v(Sort::Int, "n");
+        let pre = is_list(&mut ws, llchain, Term::var(g), Term::var(wv));
+        let mut post_parts = vec![eq(Term::var(w), tm::vint(Term::var(n)))];
+        if bounded {
+            post_parts.push(Assertion::pure(PureProp::le(Term::int(0), Term::var(n))));
+        }
+        let post = ex(n, sep(post_parts));
+        specs.push(ws.spec(name, name, wv, vec![g], pre, w, post));
+    }
+
+    // append_to.
+    let a = ws.v(Sort::Val, "a");
+    let h = ws.v(Sort::Val, "h");
+    let nloc = ws.v(Sort::Loc, "n");
+    let k = ws.v(Sort::Int, "k");
+    let null = ws.v(Sort::Loc, "null");
+    let w = ws.v(Sort::Val, "w");
+    let pre = sep([
+        eq(
+            Term::var(a),
+            Term::v_pair(
+                Term::var(h),
+                Term::v_pair(tm::vloc(Term::var(nloc)), tm::vloc(Term::var(null))),
+            ),
+        ),
+        Assertion::pure(PureProp::ne(Term::var(h), tm::vloc(Term::var(null)))),
+        chain_app(llchain, Term::var(h), tm::vloc(Term::var(null))),
+        pt(
+            Term::var(nloc),
+            Term::v_pair(tm::vint(Term::var(k)), tm::vloc(Term::var(null))),
+        ),
+    ]);
+    let post = sep([
+        eq(Term::var(w), tm::unit()),
+        chain_app(llchain, Term::var(h), tm::vloc(Term::var(null))),
+    ]);
+    specs.push(ws.spec(
+        "append_to",
+        "append_to",
+        a,
+        vec![h, nloc, k, null],
+        pre,
+        w,
+        post,
+    ));
+
+    // push_back.
+    let a = ws.v(Sort::Val, "a");
+    let wv = ws.v(Sort::Val, "wv");
+    let k = ws.v(Sort::Int, "k");
+    let g = ws.v(Sort::GhostName, "γ");
+    let w = ws.v(Sort::Val, "w");
+    let pre = sep([
+        eq(
+            Term::var(a),
+            Term::v_pair(Term::var(wv), tm::vint(Term::var(k))),
+        ),
+        is_list(&mut ws, llchain, Term::var(g), Term::var(wv)),
+    ]);
+    specs.push(ws.spec(
+        "push_back",
+        "push_back",
+        a,
+        vec![wv, k, g],
+        pre,
+        w,
+        eq(Term::var(w), tm::unit()),
+    ));
+
+    LclistExtraSpecs {
+        ws,
+        llchain,
+        lock,
+        specs,
+    }
+}
+
+/// The Figure 6 example.
+#[derive(Debug, Default)]
+pub struct LclistExtra;
+
+impl Example for LclistExtra {
+    fn name(&self) -> &'static str {
+        "lclist_extra"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn annotation(&self) -> &'static str {
+        ANNOTATION
+    }
+
+    fn paper(&self) -> PaperRow {
+        PaperRow {
+            impl_lines: 119,
+            annot: (53, 0),
+            custom: 2,
+            hints: (3, 2),
+            time: "1:31",
+            dia_total: (182, 2),
+            iris: None,
+            starling: None,
+            caper: None,
+            voila: None,
+        }
+    }
+
+    fn verify(&self) -> Result<ExampleOutcome, Box<Stuck>> {
+        let s = build_with_source(SOURCE);
+        let registry = diaframe_ghost::Registry::standard();
+        let opts = llchain_options(s.llchain);
+        let mut jobs: Vec<(&Spec, VerifyOptions)> = vec![
+            (&s.lock.newlock, opts.clone()),
+            (&s.lock.acquire, opts.clone()),
+            (&s.lock.release, opts.clone()),
+        ];
+        for sp in &s.specs {
+            jobs.push((sp, opts.clone()));
+        }
+        s.ws.verify_all(&registry, &jobs)
+    }
+
+    fn adequacy_program(&self) -> Option<(Expr, Val)> {
+        let main = parse_expr(
+            "let w := newlist () in
+             add (w, 5) ;;
+             push_back (w, 7) ;;
+             add (w, 2) ;;
+             length w * 100 + sum w",
+        )
+        .expect("client parses");
+        let s = build_with_source(SOURCE);
+        Some((
+            diaframe_heaplang::parser::link(s.ws.defs(), &main),
+            Val::Int(314),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_with_custom_hints() {
+        let outcome = LclistExtra
+            .verify()
+            .unwrap_or_else(|e| panic!("lclist_extra stuck:\n{e}"));
+        outcome.check_all().expect("traces replay");
+    }
+
+    #[test]
+    fn adequacy() {
+        let (prog, expected) = LclistExtra.adequacy_program().expect("client");
+        for v in diaframe_heaplang::interp::run_schedules(&prog, 5, 2_000_000) {
+            assert_eq!(v, expected);
+        }
+    }
+}

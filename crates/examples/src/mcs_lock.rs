@@ -1,0 +1,165 @@
+//! An MCS-style queue lock \[61] — the grant-box variant.
+//!
+//! Structurally the dual of the CLH lock: the tail holds the *grant box*
+//! the next acquirer must watch; a releaser grants by setting its box to
+//! `true` (so threads spin until `true`, where CLH spins until `false`).
+//! The verification reuses the CLH node-handoff invariants with inverted
+//! polarity. (The original MCS lock spins on a flag in the thread's own
+//! node found via `next` pointers; this reproduction verifies the
+//! grant-box formulation, see EXPERIMENTS.md.)
+
+use crate::clh_lock::{build_qlock, ClhSpecs, Polarity};
+use crate::common::{Example, ExampleOutcome, PaperRow};
+use diaframe_core::{Stuck, VerifyOptions};
+use diaframe_heaplang::{parse_expr, Expr, Val};
+
+/// The implementation.
+pub const SOURCE: &str = "\
+def mswap a :=
+  let t := fst a in
+  let n := snd a in
+  let p := !t in
+  if CAS(t, p, n) then p else mswap a
+def mspin p := if !p then () else mspin p
+def newmcs _ :=
+  let n0 := ref true in
+  ref n0
+def macquire lk :=
+  let n := ref false in
+  let p := mswap (lk, n) in
+  mspin p ;;
+  n
+def mrelease n := n <- true
+";
+
+/// Specifications (the CLH ones with inverted polarity).
+pub const ANNOTATION: &str = "\
+node_inv l γ := ∃ b t. l ↦{½} #b ∗
+  (⌜b = false⌝ ∗ ⌜t = false⌝
+   ∨ ⌜b = true⌝ ∗ ⌜t = false⌝ ∗ R
+   ∨ ⌜b = true⌝ ∗ ⌜t = true⌝) ∗ gvar γ ½ #t
+claim l γ := inv Nn (node_inv l γ) ∗ gvar γ ½ #false
+SPEC {{ R }} newmcs () {{ lk, RET lk; is_mcs lk }}
+SPEC {{ ⌜a = (lk, #n)⌝ ∗ is_mcs lk ∗ claim n γn }} mswap a {{ p, RET p; ∃ lp γp. claim lp γp ∗ ⌜p = #lp⌝ }}
+SPEC {{ ⌜p = #lp⌝ ∗ claim lp γp }} mspin p {{ RET #(); R }}
+SPEC {{ is_mcs lk }} macquire lk {{ n, RET n; mcs_locked n ∗ R }}
+SPEC {{ mcs_locked n ∗ R }} mrelease n {{ RET #(); True }}
+";
+
+/// Builds the MCS-variant specs.
+#[must_use]
+pub fn build_with_source(source: &str) -> ClhSpecs {
+    build_qlock(
+        source,
+        &Polarity { busy: false },
+        "mcs.node",
+        "mcs.tail",
+        ("newmcs", "mswap", "mspin", "macquire", "mrelease"),
+    )
+}
+
+/// The Figure 6 example.
+#[derive(Debug, Default)]
+pub struct McsLock;
+
+impl Example for McsLock {
+    fn name(&self) -> &'static str {
+        "mcs_lock"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn annotation(&self) -> &'static str {
+        ANNOTATION
+    }
+
+    fn paper(&self) -> PaperRow {
+        PaperRow {
+            impl_lines: 54,
+            annot: (73, 7),
+            custom: 0,
+            hints: (4, 0),
+            time: "1:11",
+            dia_total: (147, 11),
+            iris: None,
+            starling: None,
+            caper: None,
+            voila: None,
+        }
+    }
+
+    fn verify(&self) -> Result<ExampleOutcome, Box<Stuck>> {
+        let s = build_with_source(SOURCE);
+        let registry = diaframe_ghost::Registry::standard();
+        let jobs: Vec<_> = s
+            .specs
+            .iter()
+            .map(|sp| (sp, VerifyOptions::automatic().with_backtracking()))
+            .collect();
+        s.ws.verify_all(&registry, &jobs)
+    }
+
+    fn verify_broken(&self) -> Option<Result<ExampleOutcome, Box<Stuck>>> {
+        // Sabotage: acquire skips the spin — it "holds the lock" without
+        // the resource having been handed over.
+        let broken = SOURCE.replace("mspin p ;;
+  n", "n");
+        let s = build_with_source(&broken);
+        let registry = diaframe_ghost::Registry::standard();
+        Some(s.ws.verify_all(
+            &registry,
+            &[(&s.specs[3], VerifyOptions::automatic().with_backtracking())],
+        ))
+    }
+
+    fn adequacy_program(&self) -> Option<(Expr, Val)> {
+        let main = parse_expr(
+            "let lk := newmcs () in
+             let c := ref 0 in
+             fork { let n := macquire lk in c <- !c + 1 ;; mrelease n } ;;
+             let n := macquire lk in
+             c <- !c + 1 ;;
+             mrelease n ;;
+             (rec wait u :=
+                let m := macquire lk in
+                let v := !c in
+                mrelease m ;;
+                if v = 2 then v else wait u) ()",
+        )
+        .expect("client parses");
+        let s = build_with_source(SOURCE);
+        Some((
+            diaframe_heaplang::parser::link(s.ws.defs(), &main),
+            Val::Int(2),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_with_backtracking() {
+        let outcome = McsLock
+            .verify()
+            .unwrap_or_else(|e| panic!("mcs_lock stuck:\n{e}"));
+        assert_eq!(outcome.manual_steps, 0);
+        outcome.check_all().expect("traces replay");
+    }
+
+    #[test]
+    fn broken_variant_fails() {
+        assert!(McsLock.verify_broken().expect("broken").is_err());
+    }
+
+    #[test]
+    fn adequacy() {
+        let (prog, expected) = McsLock.adequacy_program().expect("client");
+        for v in diaframe_heaplang::interp::run_schedules(&prog, 10, 3_000_000) {
+            assert_eq!(v, expected);
+        }
+    }
+}

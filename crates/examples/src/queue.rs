@@ -1,0 +1,421 @@
+//! A lock-protected FIFO queue with per-element resources (the paper's
+//! `queue` row).
+//!
+//! A spin lock protects a singly linked list with head insertion at the
+//! back via traversal (`append_to`) and removal at the front. Elements
+//! carry the resource `Φ(v)`, transferred to the dequeuer. The recursive
+//! `qchain` predicate is handled by the same custom-hint recipe as
+//! [`crate::bag_stack`]. (Caper's queue is CAS-based; this reproduction
+//! verifies the coarse-grained variant, see EXPERIMENTS.md.)
+
+use crate::common::{
+    eq, ex, or, papp, pt, sep, tm, Example, ExampleOutcome, PaperRow, ToolStat, Ws,
+};
+use crate::spin_lock::{is_lock_with, lock_instance, LockInstance};
+use diaframe_core::{Spec, Stuck, VerifyOptions};
+use diaframe_ghost::HintCandidate;
+use diaframe_heaplang::{parse_expr, Expr, Val};
+use diaframe_logic::{Assertion, Atom, PredId, PredTable};
+use diaframe_term::{PureProp, Sort, Term};
+
+/// The implementation.
+pub const SOURCE: &str = "\
+def newlock u := ref false
+def acquire l := if CAS(l, false, true) then () else acquire l
+def release l := l <- false
+def newq _ :=
+  let null := ref 0 in
+  let hd := ref null in
+  (newlock (), (hd, null))
+def append_to a :=
+  let h := fst a in
+  let n := fst (snd a) in
+  let null := snd (snd a) in
+  let p := !h in
+  if snd p = null
+  then h <- (fst p, n)
+  else append_to (snd p, (n, null))
+def enq a :=
+  let w := fst (fst a) in
+  let v := snd (fst a) in
+  let k := snd a in
+  acquire (fst w) ;;
+  let hd := fst (snd w) in
+  let null := snd (snd w) in
+  let h := !hd in
+  let n := ref (v, null) in
+  (if h = null then hd <- n else append_to (h, (n, null))) ;;
+  release (fst w) ;;
+  k
+def deq w :=
+  acquire (fst w) ;;
+  let hd := fst (snd w) in
+  let null := snd (snd w) in
+  let h := !hd in
+  let r :=
+    (if h = null
+     then inl ()
+     else (let p := !h in hd <- snd p ;; inr (fst p))) in
+  release (fst w) ;;
+  r
+";
+
+/// Specifications and the recursive queue predicate.
+pub const ANNOTATION: &str = "\
+qchain h nl := ⌜h = nl⌝ ∨ ∃ l v nx. ⌜h = #l⌝ ∗ l ↦ (v, nx) ∗ Φ v ∗ qchain nx nl
+R_q hd null := ∃ h. hd ↦ h ∗ qchain h #null
+is_q γ w := ∃ lk hd null. ⌜w = (lk, (#hd, #null))⌝ ∗ is_lock γ lk (R_q hd null)
+SPEC {{ True }} newq () {{ w γ, RET w; is_q γ w }}
+SPEC {{ ⌜a = (h, (#n, #null))⌝ ∗ ⌜h ≠ #null⌝ ∗ qchain h #null ∗
+        n ↦ (v, #null) ∗ Φ v }} append_to a {{ RET #(); qchain h #null }}
+SPEC {{ ⌜a = ((w, v), k)⌝ ∗ is_q γ w ∗ Φ v }} enq a {{ RET k; True }}
+SPEC {{ is_q γ w }} deq w {{ r, RET r; ⌜r = inl #()⌝ ∨ ∃ v. ⌜r = inr v⌝ ∗ Φ v }}
+custom hints: qchain fold (nil/cons) and unfold
+";
+
+/// The built specs.
+pub struct QueueSpecs {
+    /// Workspace.
+    pub ws: Ws,
+    /// The element resource.
+    pub phi: PredId,
+    /// The recursive predicate.
+    pub qchain: PredId,
+    /// The lock instance.
+    pub lock: LockInstance,
+    /// newq / append_to / enq / deq.
+    pub specs: Vec<Spec>,
+}
+
+fn chain_app(chain: PredId, h: Term, nl: Term) -> Assertion {
+    Assertion::atom(Atom::PredApp {
+        pred: chain,
+        args: vec![h, nl],
+    })
+}
+
+/// The chain hints for Φ-carrying fully-owned chains.
+pub fn qchain_options(chain: PredId, phi: PredId) -> VerifyOptions {
+    VerifyOptions::automatic()
+        .with_backtracking()
+        .with_custom_alloc("qchain-fold", move |vars, goal| {
+            let Atom::PredApp { pred, args } = goal else {
+                return Vec::new();
+            };
+            if *pred != chain {
+                return Vec::new();
+            }
+            let (h, nl) = (args[0].clone(), args[1].clone());
+            let nil =
+                HintCandidate::new("qchain-fold-nil").guard(PureProp::eq(h.clone(), nl.clone()));
+            let l = vars.fresh_evar(Sort::Loc);
+            let v = vars.fresh_evar(Sort::Val);
+            let nx = vars.fresh_evar(Sort::Val);
+            let cons = HintCandidate::new("qchain-fold-cons")
+                .unify(h, Term::v_loc(Term::evar(l)))
+                .side(sep([
+                    Assertion::atom(Atom::points_to(
+                        Term::evar(l),
+                        Term::v_pair(Term::evar(v), Term::evar(nx)),
+                    )),
+                    papp(phi, vec![Term::evar(v)]),
+                    chain_app(chain, Term::evar(nx), nl),
+                ]));
+            vec![nil, cons]
+        })
+        .with_unfold("qchain-unfold", move |ctx| {
+            let l = ctx.vars.fresh_var(Sort::Loc, "l");
+            let v = ctx.vars.fresh_var(Sort::Val, "v");
+            let nx = ctx.vars.fresh_var(Sort::Val, "nx");
+            for (idx, hyp) in ctx.delta.iter().enumerate().rev() {
+                let Assertion::Atom(Atom::PredApp { pred, args }) = &hyp.assertion else {
+                    continue;
+                };
+                if *pred != chain {
+                    continue;
+                }
+                let (h, nl) = (args[0].clone(), args[1].clone());
+                let cons = Assertion::exists(
+                    diaframe_logic::Binder::new(l),
+                    Assertion::exists(
+                        diaframe_logic::Binder::new(v),
+                        Assertion::exists(
+                            diaframe_logic::Binder::new(nx),
+                            sep([
+                                eq(h.clone(), tm::vloc(Term::var(l))),
+                                pt(
+                                    Term::var(l),
+                                    Term::v_pair(Term::var(v), Term::var(nx)),
+                                ),
+                                papp(phi, vec![Term::var(v)]),
+                                chain_app(chain, Term::var(nx), nl.clone()),
+                            ]),
+                        ),
+                    ),
+                );
+                return Some((idx, or(eq(h, nl), cons)));
+            }
+            None
+        })
+}
+
+fn r_q(ws: &mut Ws, chain: PredId, hd: Term, null: Term) -> Assertion {
+    let h = ws.v(Sort::Val, "h");
+    ex(
+        h,
+        sep([
+            pt(hd, Term::var(h)),
+            chain_app(chain, Term::var(h), tm::vloc(null)),
+        ]),
+    )
+}
+
+fn is_q(ws: &mut Ws, chain: PredId, g: Term, w: Term) -> Assertion {
+    let lk = ws.v(Sort::Val, "lk");
+    let hd = ws.v(Sort::Loc, "hd");
+    let null = ws.v(Sort::Loc, "null");
+    let res = r_q(ws, chain, Term::var(hd), Term::var(null));
+    let lockpart = is_lock_with(ws, "q", res, g, Term::var(lk));
+    ex(
+        lk,
+        ex(
+            hd,
+            ex(
+                null,
+                sep([
+                    eq(
+                        w,
+                        Term::v_pair(
+                            Term::var(lk),
+                            Term::v_pair(tm::vloc(Term::var(hd)), tm::vloc(Term::var(null))),
+                        ),
+                    ),
+                    lockpart,
+                ]),
+            ),
+        ),
+    )
+}
+
+/// Builds the workspace and specs.
+#[must_use]
+pub fn build_with_source(source: &str) -> QueueSpecs {
+    let mut preds = PredTable::new();
+    let phi = preds.fresh_pred("Φ", 1);
+    let qchain = preds.fresh_pred("qchain", 2);
+    let mut ws = Ws::new(preds, source);
+
+    let hd = ws.v(Sort::Loc, "hd");
+    let null = ws.v(Sort::Loc, "null");
+    let lock = lock_instance(&mut ws, "q", &[hd, null], &|ws| {
+        r_q(ws, qchain, Term::var(hd), Term::var(null))
+    });
+
+    let mut specs = Vec::new();
+
+    // newq.
+    let a = ws.v(Sort::Val, "a");
+    let w = ws.v(Sort::Val, "w");
+    let g = ws.v(Sort::GhostName, "γ");
+    let post = {
+        let body = is_q(&mut ws, qchain, Term::var(g), Term::var(w));
+        ex(g, body)
+    };
+    specs.push(ws.spec("newq", "newq", a, Vec::new(), Assertion::emp(), w, post));
+
+    // append_to.
+    let a = ws.v(Sort::Val, "a");
+    let h = ws.v(Sort::Val, "h");
+    let nloc = ws.v(Sort::Loc, "n");
+    let v = ws.v(Sort::Val, "v");
+    let null = ws.v(Sort::Loc, "null");
+    let w = ws.v(Sort::Val, "w");
+    let pre = sep([
+        eq(
+            Term::var(a),
+            Term::v_pair(
+                Term::var(h),
+                Term::v_pair(tm::vloc(Term::var(nloc)), tm::vloc(Term::var(null))),
+            ),
+        ),
+        Assertion::pure(PureProp::ne(Term::var(h), tm::vloc(Term::var(null)))),
+        chain_app(qchain, Term::var(h), tm::vloc(Term::var(null))),
+        pt(
+            Term::var(nloc),
+            Term::v_pair(Term::var(v), tm::vloc(Term::var(null))),
+        ),
+        papp(phi, vec![Term::var(v)]),
+    ]);
+    let post = sep([
+        eq(Term::var(w), tm::unit()),
+        chain_app(qchain, Term::var(h), tm::vloc(Term::var(null))),
+    ]);
+    specs.push(ws.spec(
+        "append_to",
+        "append_to",
+        a,
+        vec![h, nloc, v, null],
+        pre,
+        w,
+        post,
+    ));
+
+    // enq: argument ((w, v), k) — k is an opaque passthrough showing the
+    // return value plumbing.
+    let a = ws.v(Sort::Val, "a");
+    let wv = ws.v(Sort::Val, "wv");
+    let v = ws.v(Sort::Val, "v");
+    let kv = ws.v(Sort::Val, "kv");
+    let g = ws.v(Sort::GhostName, "γ");
+    let w = ws.v(Sort::Val, "w");
+    let pre = sep([
+        eq(
+            Term::var(a),
+            Term::v_pair(
+                Term::v_pair(Term::var(wv), Term::var(v)),
+                Term::var(kv),
+            ),
+        ),
+        is_q(&mut ws, qchain, Term::var(g), Term::var(wv)),
+        papp(phi, vec![Term::var(v)]),
+    ]);
+    specs.push(ws.spec(
+        "enq",
+        "enq",
+        a,
+        vec![wv, v, kv, g],
+        pre,
+        w,
+        eq(Term::var(w), Term::var(kv)),
+    ));
+
+    // deq.
+    let wv = ws.v(Sort::Val, "wv");
+    let g = ws.v(Sort::GhostName, "γ");
+    let w = ws.v(Sort::Val, "w");
+    let v = ws.v(Sort::Val, "v");
+    let pre = is_q(&mut ws, qchain, Term::var(g), Term::var(wv));
+    let post = or(
+        eq(Term::var(w), Term::v_inj_l(tm::unit())),
+        ex(
+            v,
+            sep([
+                eq(Term::var(w), Term::v_inj_r(Term::var(v))),
+                papp(phi, vec![Term::var(v)]),
+            ]),
+        ),
+    );
+    specs.push(ws.spec("deq", "deq", wv, vec![g], pre, w, post));
+
+    QueueSpecs {
+        ws,
+        phi,
+        qchain,
+        lock,
+        specs,
+    }
+}
+
+/// The Figure 6 example.
+#[derive(Debug, Default)]
+pub struct Queue;
+
+impl Example for Queue {
+    fn name(&self) -> &'static str {
+        "queue"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn annotation(&self) -> &'static str {
+        ANNOTATION
+    }
+
+    fn paper(&self) -> PaperRow {
+        PaperRow {
+            impl_lines: 42,
+            annot: (58, 5),
+            custom: 41,
+            hints: (12, 3),
+            time: "1:17",
+            dia_total: (170, 46),
+            iris: None,
+            starling: None,
+            caper: Some(ToolStat::new(99, 0)),
+            voila: None,
+        }
+    }
+
+    fn verify(&self) -> Result<ExampleOutcome, Box<Stuck>> {
+        let s = build_with_source(SOURCE);
+        let registry = diaframe_ghost::Registry::standard();
+        let opts = qchain_options(s.qchain, s.phi);
+        let mut jobs: Vec<(&Spec, VerifyOptions)> = vec![
+            (&s.lock.newlock, opts.clone()),
+            (&s.lock.acquire, opts.clone()),
+            (&s.lock.release, opts.clone()),
+        ];
+        for sp in &s.specs {
+            jobs.push((sp, opts.clone()));
+        }
+        s.ws.verify_all(&registry, &jobs)
+    }
+
+    fn verify_broken(&self) -> Option<Result<ExampleOutcome, Box<Stuck>>> {
+        // Sabotage: deq returns the element but leaves it in the queue —
+        // Φ would be duplicated.
+        let broken = SOURCE.replace("else (let p := !h in hd <- snd p ;; inr (fst p))) in",
+                                    "else (let p := !h in inr (fst p))) in");
+        let s = build_with_source(&broken);
+        let registry = diaframe_ghost::Registry::standard();
+        let opts = qchain_options(s.qchain, s.phi);
+        Some(s.ws.verify_all(&registry, &[(&s.specs[3], opts)]))
+    }
+
+    fn adequacy_program(&self) -> Option<(Expr, Val)> {
+        let main = parse_expr(
+            "let w := newq () in
+             enq ((w, 11), 0) ;;
+             enq ((w, 22), 0) ;;
+             match deq w with inl u => 0 | inr v => v end",
+        )
+        .expect("client parses");
+        let s = build_with_source(SOURCE);
+        Some((
+            diaframe_heaplang::parser::link(s.ws.defs(), &main),
+            Val::Int(11),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_with_custom_hints() {
+        let outcome = Queue
+            .verify()
+            .unwrap_or_else(|e| panic!("queue stuck:\n{e}"));
+        outcome.check_all().expect("traces replay");
+        assert!(outcome
+            .custom_hints_used()
+            .iter()
+            .any(|h| h.contains("qchain")));
+    }
+
+    #[test]
+    fn broken_variant_fails() {
+        assert!(Queue.verify_broken().expect("broken").is_err());
+    }
+
+    #[test]
+    fn adequacy() {
+        let (prog, expected) = Queue.adequacy_program().expect("client");
+        for v in diaframe_heaplang::interp::run_schedules(&prog, 8, 2_000_000) {
+            assert_eq!(v, expected);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The lock-free reader-writer lock (Caper's `ReadWriteLock` via `FAA`).
+//!
+//! The cell holds `-1` while a writer is active, `0` when idle, and the
+//! reader count otherwise. Readers share the protected fractional `P`
+//! through counting permissions; the writer recovers `P 1`. The `-1`
+//! state keeps half a `no_tokens` witness so a stray reader release is
+//! provably impossible.
+
+use crate::common::{
+    eq, ex, inv, or, papp, pt, sep, tm, Example, ExampleOutcome, PaperRow, ToolStat, Ws,
+};
+use diaframe_core::{Spec, Stuck, VerifyOptions};
+use diaframe_ghost::counting::{counter, no_tokens, token};
+use diaframe_heaplang::{parse_expr, Expr, Val};
+use diaframe_logic::{Assertion, PredId, PredTable};
+use diaframe_term::{PureProp, Sort, Term};
+
+/// The implementation.
+pub const SOURCE: &str = "\
+def make _ := ref 0
+def read_acq l :=
+  let v := !l in
+  if 0 <= v
+  then (if CAS(l, v, v + 1) then () else read_acq l)
+  else read_acq l
+def read_rel l := FAA(l, -1) ;; ()
+def write_acq l := if CAS(l, 0, -1) then () else write_acq l
+def write_rel l := l <- 0
+";
+
+/// Specifications and the invariant.
+pub const ANNOTATION: &str = "\
+rw_inv γ l := ∃ z. l ↦ #z ∗
+  (⌜z = -1⌝ ∗ no_tokens P γ ½
+   ∨ ⌜z = 0⌝ ∗ no_tokens P γ 1 ∗ P 1
+   ∨ ⌜0 < z⌝ ∗ counter P γ z)
+is_rw γ l := ∃ l. ⌜v = #l⌝ ∗ inv N (rw_inv γ l)
+SPEC {{ P 1 }} make () {{ v γ, RET v; is_rw γ v }}
+SPEC {{ is_rw γ v }} read_acq v {{ RET #(); token P γ }}
+SPEC {{ is_rw γ v ∗ token P γ }} read_rel v {{ RET #(); True }}
+SPEC {{ is_rw γ v }} write_acq v {{ RET #(); P 1 ∗ no_tokens P γ ½ }}
+SPEC {{ is_rw γ v ∗ P 1 ∗ no_tokens P γ ½ }} write_rel v {{ RET #(); True }}
+";
+
+/// The built specs.
+pub struct RwLockSpecs {
+    /// Workspace.
+    pub ws: Ws,
+    /// The protected fractional predicate.
+    pub p: PredId,
+    /// make / read_acq / read_rel / write_acq / write_rel.
+    pub specs: Vec<Spec>,
+}
+
+fn is_rw(ws: &mut Ws, p: PredId, gamma: Term, v: Term) -> Assertion {
+    let l = ws.v(Sort::Loc, "l");
+    let z = ws.v(Sort::Int, "z");
+    let body = ex(
+        z,
+        sep([
+            pt(Term::var(l), tm::vint(Term::var(z))),
+            or(
+                sep([
+                    eq(tm::vint(Term::var(z)), tm::int(-1)),
+                    Assertion::atom(no_tokens(p, gamma.clone(), tm::half())),
+                ]),
+                or(
+                    sep([
+                        eq(tm::vint(Term::var(z)), tm::int(0)),
+                        Assertion::atom(no_tokens(p, gamma.clone(), tm::one())),
+                        papp(p, vec![tm::one()]),
+                    ]),
+                    sep([
+                        Assertion::pure(PureProp::lt(Term::int(0), Term::var(z))),
+                        Assertion::atom(counter(p, gamma.clone(), Term::var(z))),
+                    ]),
+                ),
+            ),
+        ]),
+    );
+    ex(l, sep([eq(v, tm::vloc(Term::var(l))), inv("rw", body)]))
+}
+
+/// Builds the workspace and specs.
+#[must_use]
+pub fn build_with_source(source: &str) -> RwLockSpecs {
+    let mut preds = PredTable::new();
+    let p = preds.fresh_fractional("P");
+    let mut ws = Ws::new(preds, source);
+    let mut specs = Vec::new();
+
+    // make.
+    let a = ws.v(Sort::Val, "a");
+    let w = ws.v(Sort::Val, "w");
+    let g = ws.v(Sort::GhostName, "γ");
+    let post = {
+        let body = is_rw(&mut ws, p, Term::var(g), Term::var(w));
+        ex(g, body)
+    };
+    specs.push(ws.spec(
+        "make",
+        "make",
+        a,
+        Vec::new(),
+        papp(p, vec![tm::one()]),
+        w,
+        post,
+    ));
+
+    // read_acq.
+    let v = ws.v(Sort::Val, "v");
+    let g = ws.v(Sort::GhostName, "γ");
+    let w = ws.v(Sort::Val, "w");
+    let pre = is_rw(&mut ws, p, Term::var(g), Term::var(v));
+    let post = sep([
+        eq(Term::var(w), tm::unit()),
+        Assertion::atom(token(p, Term::var(g))),
+    ]);
+    specs.push(ws.spec("read_acq", "read_acq", v, vec![g], pre, w, post));
+
+    // read_rel.
+    let v = ws.v(Sort::Val, "v");
+    let g = ws.v(Sort::GhostName, "γ");
+    let w = ws.v(Sort::Val, "w");
+    let pre = sep([
+        is_rw(&mut ws, p, Term::var(g), Term::var(v)),
+        Assertion::atom(token(p, Term::var(g))),
+    ]);
+    specs.push(ws.spec(
+        "read_rel",
+        "read_rel",
+        v,
+        vec![g],
+        pre,
+        w,
+        eq(Term::var(w), tm::unit()),
+    ));
+
+    // write_acq.
+    let v = ws.v(Sort::Val, "v");
+    let g = ws.v(Sort::GhostName, "γ");
+    let w = ws.v(Sort::Val, "w");
+    let pre = is_rw(&mut ws, p, Term::var(g), Term::var(v));
+    let post = sep([
+        eq(Term::var(w), tm::unit()),
+        papp(p, vec![tm::one()]),
+        Assertion::atom(no_tokens(p, Term::var(g), tm::half())),
+    ]);
+    specs.push(ws.spec("write_acq", "write_acq", v, vec![g], pre, w, post));
+
+    // write_rel.
+    let v = ws.v(Sort::Val, "v");
+    let g = ws.v(Sort::GhostName, "γ");
+    let w = ws.v(Sort::Val, "w");
+    let pre = sep([
+        is_rw(&mut ws, p, Term::var(g), Term::var(v)),
+        papp(p, vec![tm::one()]),
+        Assertion::atom(no_tokens(p, Term::var(g), tm::half())),
+    ]);
+    specs.push(ws.spec(
+        "write_rel",
+        "write_rel",
+        v,
+        vec![g],
+        pre,
+        w,
+        eq(Term::var(w), tm::unit()),
+    ));
+
+    RwLockSpecs { ws, p, specs }
+}
+
+/// `decide (z = 1)` on the counter's count — the one manual line the
+/// paper also reports for this example.
+fn last_token_case_split() -> VerifyOptions {
+    use diaframe_logic::{Atom, GhostAtom};
+    VerifyOptions::automatic().with_case_split("decide (z = 1)", |ctx| {
+        for h in &ctx.delta {
+            if let Assertion::Atom(Atom::Ghost(GhostAtom { kind, args, .. })) = &h.assertion {
+                if *kind == diaframe_ghost::counting::COUNTER {
+                    return Some(PureProp::eq(args[0].clone(), Term::int(1)));
+                }
+            }
+        }
+        None
+    })
+}
+
+/// The Figure 6 example.
+#[derive(Debug, Default)]
+pub struct RwLockLocklessFaa;
+
+impl Example for RwLockLocklessFaa {
+    fn name(&self) -> &'static str {
+        "rwlock_lockless_faa"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn annotation(&self) -> &'static str {
+        ANNOTATION
+    }
+
+    fn paper(&self) -> PaperRow {
+        PaperRow {
+            impl_lines: 27,
+            annot: (36, 1),
+            custom: 0,
+            hints: (8, 0),
+            time: "0:20",
+            dia_total: (74, 1),
+            iris: None,
+            starling: None,
+            caper: Some(ToolStat::new(68, 1)),
+            voila: None,
+        }
+    }
+
+    fn verify(&self) -> Result<ExampleOutcome, Box<Stuck>> {
+        let s = build_with_source(SOURCE);
+        let registry = diaframe_ghost::Registry::standard();
+        s.ws.verify_all(
+            &registry,
+            &[
+                (&s.specs[0], VerifyOptions::automatic()),
+                (&s.specs[1], VerifyOptions::automatic()),
+                // read_rel: as in the ARC's drop (§2.2), the release needs
+                // the manual case distinction "was mine the last token?".
+                (&s.specs[2], last_token_case_split()),
+                (&s.specs[3], VerifyOptions::automatic()),
+                (&s.specs[4], VerifyOptions::automatic()),
+            ],
+        )
+    }
+
+    fn verify_broken(&self) -> Option<Result<ExampleOutcome, Box<Stuck>>> {
+        // Sabotage: the writer CASes from 1 (a reader present!) — shared
+        // and exclusive access would coexist.
+        let broken = "\
+def make _ := ref 0
+def read_acq l :=
+  let v := !l in
+  if 0 <= v
+  then (if CAS(l, v, v + 1) then () else read_acq l)
+  else read_acq l
+def read_rel l := FAA(l, -1) ;; ()
+def write_acq l := if CAS(l, 1, -1) then () else write_acq l
+def write_rel l := l <- 0
+";
+        let s = build_with_source(broken);
+        let registry = diaframe_ghost::Registry::standard();
+        Some(
+            s.ws
+                .verify_all(&registry, &[(&s.specs[3], VerifyOptions::automatic())]),
+        )
+    }
+
+    fn adequacy_program(&self) -> Option<(Expr, Val)> {
+        let main = parse_expr(
+            "let l := make () in
+             fork { read_acq l ;; read_rel l } ;;
+             write_acq l ;;
+             write_rel l ;;
+             read_acq l ;; read_rel l ;; 1",
+        )
+        .expect("client parses");
+        let s = build_with_source(SOURCE);
+        Some((
+            diaframe_heaplang::parser::link(s.ws.defs(), &main),
+            Val::Int(1),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_fully_automatically() {
+        let outcome = RwLockLocklessFaa
+            .verify()
+            .unwrap_or_else(|e| panic!("rwlock_lockless_faa stuck:\n{e}"));
+        // One manual case split (paper: 1 line of proof work).
+        assert_eq!(outcome.manual_steps, 1);
+        outcome.check_all().expect("traces replay");
+        let hints = outcome.hints_used();
+        assert!(hints.contains("token-revive"));
+        assert!(hints.contains("token-mutate-delete-last"));
+    }
+
+    #[test]
+    fn broken_variant_fails() {
+        assert!(RwLockLocklessFaa.verify_broken().expect("broken").is_err());
+    }
+
+    #[test]
+    fn adequacy() {
+        let (prog, expected) = RwLockLocklessFaa.adequacy_program().expect("client");
+        for v in diaframe_heaplang::interp::run_schedules(&prog, 10, 2_000_000) {
+            assert_eq!(v, expected);
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! The ticket-based reader-writer lock with a *bounded* reader count.
+//!
+//! Like [`crate::rwlock_ticket_unbounded`], but at most `b` readers may
+//! hold the lock simultaneously; `read_acq` backs off and retries when the
+//! bound is reached. As with the bounded counter, the bound is
+//! *parametric* (the paper: "Starling verifies … a bounded reader-writers
+//! lock, whereas we verify a heap-allocated version"; Caper and Voila fix
+//! such bounds).
+
+use crate::common::{
+    eq, ex, or, papp, pt, sep, tm, Example, ExampleOutcome, PaperRow, ToolStat, Ws,
+};
+use crate::ticket_lock::{is_tl_with, tl_instance, TicketLockInstance};
+use diaframe_core::{Spec, Stuck, VerifyOptions};
+use diaframe_ghost::counting::{counter, no_tokens, token};
+use diaframe_ghost::excl_token::locked;
+use diaframe_heaplang::{parse_expr, Expr, Val};
+use diaframe_logic::{Assertion, PredId, PredTable};
+use diaframe_term::{PureProp, Sort, Term};
+
+/// The implementation. `read_acq` takes the pair `(b, w)` of bound and
+/// lock and retries when `b` readers are already in.
+pub const SOURCE: &str = "\
+def makeg u := (ref 0, ref 0)
+def waitg a := if !(fst a) = snd a then () else waitg a
+def acquireg lk := let n := FAA(snd lk, 1) in waitg (fst lk, n)
+def releaseg lk := fst lk <- !(fst lk) + 1
+def maker v := (ref 0, ref 0)
+def waitr a := if !(fst a) = snd a then () else waitr a
+def acquirer lk := let n := FAA(snd lk, 1) in waitr (fst lk, n)
+def releaser lk := fst lk <- !(fst lk) + 1
+def make _ :=
+  let c := ref 0 in
+  let g := makeg () in
+  let r := maker () in
+  (r, (c, g))
+def read_acq a :=
+  let b := fst a in
+  let w := snd a in
+  acquirer (fst w) ;;
+  let c := fst (snd w) in
+  let n := !c in
+  if n < b
+  then (c <- n + 1 ;;
+        (if n = 0 then acquireg (snd (snd w)) else ()) ;;
+        releaser (fst w))
+  else (releaser (fst w) ;; read_acq a)
+def read_rel w :=
+  acquirer (fst w) ;;
+  let c := fst (snd w) in
+  let n := !c in
+  c <- n - 1 ;;
+  (if n = 1 then releaseg (snd (snd w)) else ()) ;;
+  releaser (fst w)
+def write_acq w := acquireg (snd (snd w))
+def write_rel w := releaseg (snd (snd w))
+";
+
+/// Specifications: as for the unbounded variant plus the parametric bound.
+pub const ANNOTATION: &str = "\
+R_r c γp γg2 b := ∃ n. c ↦ #n ∗ ⌜n ≤ b⌝ ∗
+  (⌜n = 0⌝ ∗ no_tokens P γp 1 ∨ ⌜0 < n⌝ ∗ counter P γp n ∗ locked γg2)
+is_rwb γs w b := ∃ rlk glk c. ⌜w = (rlk, (#c, glk))⌝ ∗
+  is_tl γr γr2 rlk (R_r c γp γg2 b) ∗ is_tl γg γg2 glk (P 1)
+SPEC {{ ⌜0 < b⌝ ∗ P 1 }} make () {{ w γs, RET w; is_rwb γs w b }}
+SPEC {{ ⌜a = (#b, w)⌝ ∗ ⌜0 < b⌝ ∗ is_rwb γs w b }} read_acq a {{ RET #(); token P γp }}
+SPEC {{ is_rwb γs w b ∗ token P γp }} read_rel w {{ RET #(); True }}
+SPEC {{ is_rwb γs w b }} write_acq w {{ RET #(); locked γg2 ∗ P 1 }}
+SPEC {{ is_rwb γs w b ∗ locked γg2 ∗ P 1 }} write_rel w {{ RET #(); True }}
+";
+
+/// The built specs.
+pub struct RwTicketBoundedSpecs {
+    /// Workspace.
+    pub ws: Ws,
+    /// The protected fractional predicate.
+    pub p: PredId,
+    /// Reader / global ticket locks.
+    pub rlock: TicketLockInstance,
+    /// See [`RwTicketBoundedSpecs::rlock`].
+    pub glock: TicketLockInstance,
+    /// make / read_acq / read_rel / write_acq / write_rel.
+    pub specs: Vec<Spec>,
+}
+
+fn r_r_bounded(ws: &mut Ws, p: PredId, c: Term, gp: Term, gg2: Term, b: Term) -> Assertion {
+    let n = ws.v(Sort::Int, "n");
+    ex(
+        n,
+        sep([
+            pt(c, tm::vint(Term::var(n))),
+            Assertion::pure(PureProp::le(Term::var(n), b)),
+            or(
+                sep([
+                    eq(tm::vint(Term::var(n)), tm::int(0)),
+                    Assertion::atom(no_tokens(p, gp.clone(), tm::one())),
+                ]),
+                sep([
+                    Assertion::pure(PureProp::lt(Term::int(0), Term::var(n))),
+                    Assertion::atom(counter(p, gp, Term::var(n))),
+                    Assertion::atom(locked(gg2)),
+                ]),
+            ),
+        ]),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn is_rwb(
+    ws: &mut Ws,
+    p: PredId,
+    gr: Term,
+    gr2: Term,
+    gg: Term,
+    gg2: Term,
+    gp: Term,
+    b: Term,
+    w: Term,
+) -> Assertion {
+    let rlk = ws.v(Sort::Val, "rlk");
+    let glk = ws.v(Sort::Val, "glk");
+    let c = ws.v(Sort::Loc, "c");
+    let rres = r_r_bounded(ws, p, Term::var(c), gp, gg2.clone(), b);
+    let rl = is_tl_with(ws, "rwb.r", rres, gr, gr2, Term::var(rlk));
+    let gl = is_tl_with(ws, "rwb.g", papp(p, vec![tm::one()]), gg, gg2, Term::var(glk));
+    ex(
+        rlk,
+        ex(
+            glk,
+            ex(
+                c,
+                sep([
+                    eq(
+                        w,
+                        Term::v_pair(
+                            Term::var(rlk),
+                            Term::v_pair(tm::vloc(Term::var(c)), Term::var(glk)),
+                        ),
+                    ),
+                    rl,
+                    gl,
+                ]),
+            ),
+        ),
+    )
+}
+
+/// Builds the workspace and specs.
+#[must_use]
+pub fn build_with_source(source: &str) -> RwTicketBoundedSpecs {
+    let mut preds = PredTable::new();
+    let p = preds.fresh_fractional("P");
+    let mut ws = Ws::new(preds, source);
+
+    let c = ws.v(Sort::Loc, "c");
+    let gp = ws.v(Sort::GhostName, "γp");
+    let gg2 = ws.v(Sort::GhostName, "γg2");
+    let bb = ws.v(Sort::Int, "b");
+    let rlock = tl_instance(
+        &mut ws,
+        "rwb.r",
+        &[c, gp, gg2, bb],
+        &|ws| {
+            r_r_bounded(
+                ws,
+                p,
+                Term::var(c),
+                Term::var(gp),
+                Term::var(gg2),
+                Term::var(bb),
+            )
+        },
+        ("maker", "waitr", "acquirer", "releaser"),
+    );
+    let glock = tl_instance(
+        &mut ws,
+        "rwb.g",
+        &[],
+        &|_| papp(p, vec![tm::one()]),
+        ("makeg", "waitg", "acquireg", "releaseg"),
+    );
+
+    let mut specs = Vec::new();
+    let ghosts = |ws: &mut Ws| {
+        [
+            ws.v(Sort::GhostName, "γr"),
+            ws.v(Sort::GhostName, "γr2"),
+            ws.v(Sort::GhostName, "γg"),
+            ws.v(Sort::GhostName, "γg2"),
+            ws.v(Sort::GhostName, "γp"),
+        ]
+    };
+
+    // make.
+    let a = ws.v(Sort::Val, "a");
+    let w = ws.v(Sort::Val, "w");
+    let b = ws.v(Sort::Int, "b");
+    let gs = ghosts(&mut ws);
+    let pre = sep([
+        Assertion::pure(PureProp::lt(Term::int(0), Term::var(b))),
+        papp(p, vec![tm::one()]),
+    ]);
+    let post = {
+        let body = is_rwb(
+            &mut ws,
+            p,
+            Term::var(gs[0]),
+            Term::var(gs[1]),
+            Term::var(gs[2]),
+            Term::var(gs[3]),
+            Term::var(gs[4]),
+            Term::var(b),
+            Term::var(w),
+        );
+        gs.iter().rev().fold(body, |acc, g| ex(*g, acc))
+    };
+    let mut binders = vec![b];
+    binders.extend(gs.iter().skip(5)); // none — ghosts are existential here
+    specs.push(ws.spec("make", "make", a, binders, pre, w, post));
+
+    // read_acq: argument (#b, w).
+    let a = ws.v(Sort::Val, "a");
+    let b = ws.v(Sort::Int, "b");
+    let w0 = ws.v(Sort::Val, "w0");
+    let gs = ghosts(&mut ws);
+    let ret = ws.v(Sort::Val, "ret");
+    let duo = is_rwb(
+        &mut ws,
+        p,
+        Term::var(gs[0]),
+        Term::var(gs[1]),
+        Term::var(gs[2]),
+        Term::var(gs[3]),
+        Term::var(gs[4]),
+        Term::var(b),
+        Term::var(w0),
+    );
+    let pre = sep([
+        eq(
+            Term::var(a),
+            Term::v_pair(tm::vint(Term::var(b)), Term::var(w0)),
+        ),
+        Assertion::pure(PureProp::lt(Term::int(0), Term::var(b))),
+        duo,
+    ]);
+    let post = sep([
+        eq(Term::var(ret), tm::unit()),
+        Assertion::atom(token(p, Term::var(gs[4]))),
+    ]);
+    let mut binders = vec![b, w0];
+    binders.extend(gs);
+    specs.push(ws.spec("read_acq", "read_acq", a, binders, pre, ret, post));
+
+    // read_rel / write_acq / write_rel.
+    for name in ["read_rel", "write_acq", "write_rel"] {
+        let w0 = ws.v(Sort::Val, "w0");
+        let b = ws.v(Sort::Int, "b");
+        let gs = ghosts(&mut ws);
+        let ret = ws.v(Sort::Val, "ret");
+        let duo = is_rwb(
+            &mut ws,
+            p,
+            Term::var(gs[0]),
+            Term::var(gs[1]),
+            Term::var(gs[2]),
+            Term::var(gs[3]),
+            Term::var(gs[4]),
+            Term::var(b),
+            Term::var(w0),
+        );
+        let mut pre_parts = vec![duo];
+        let mut post_parts = vec![eq(Term::var(ret), tm::unit())];
+        match name {
+            "read_rel" => pre_parts.push(Assertion::atom(token(p, Term::var(gs[4])))),
+            "write_acq" => {
+                post_parts.push(Assertion::atom(locked(Term::var(gs[3]))));
+                post_parts.push(papp(p, vec![tm::one()]));
+            }
+            _ => {
+                pre_parts.push(Assertion::atom(locked(Term::var(gs[3]))));
+                pre_parts.push(papp(p, vec![tm::one()]));
+            }
+        }
+        let mut binders = vec![b, w0];
+        binders.extend(gs);
+        binders.remove(1); // w0 is the argument itself
+        specs.push(ws.spec(
+            name,
+            name,
+            w0,
+            binders,
+            sep(pre_parts),
+            ret,
+            sep(post_parts),
+        ));
+    }
+
+    RwTicketBoundedSpecs {
+        ws,
+        p,
+        rlock,
+        glock,
+        specs,
+    }
+}
+
+/// The Figure 6 example.
+#[derive(Debug, Default)]
+pub struct RwLockTicketBounded;
+
+impl Example for RwLockTicketBounded {
+    fn name(&self) -> &'static str {
+        "rwlock_ticket_bounded"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn annotation(&self) -> &'static str {
+        ANNOTATION
+    }
+
+    fn paper(&self) -> PaperRow {
+        PaperRow {
+            impl_lines: 40,
+            annot: (68, 10),
+            custom: 2,
+            hints: (13, 0),
+            time: "0:54",
+            dia_total: (124, 12),
+            iris: None,
+            starling: None,
+            caper: Some(ToolStat::new(109, 14)),
+            voila: None,
+        }
+    }
+
+    fn verify(&self) -> Result<ExampleOutcome, Box<Stuck>> {
+        let s = build_with_source(SOURCE);
+        let registry = diaframe_ghost::Registry::standard();
+        let bt = VerifyOptions::automatic().with_backtracking();
+        let mut jobs: Vec<(&Spec, VerifyOptions)> = vec![
+            (&s.glock.make, bt.clone()),
+            (&s.glock.wait, s.glock.wait_opts.clone()),
+            (&s.glock.acquire, bt.clone()),
+            (&s.glock.release, bt.clone()),
+            (&s.rlock.make, bt.clone()),
+            (&s.rlock.wait, s.rlock.wait_opts.clone()),
+            (&s.rlock.acquire, bt.clone()),
+            (&s.rlock.release, bt.clone()),
+        ];
+        for sp in &s.specs {
+            jobs.push((sp, VerifyOptions::automatic()));
+        }
+        s.ws.verify_all(&registry, &jobs)
+    }
+
+    fn adequacy_program(&self) -> Option<(Expr, Val)> {
+        let main = parse_expr(
+            "let w := make () in
+             fork { read_acq (1, w) ;; read_rel w } ;;
+             read_acq (1, w) ;; read_rel w ;;
+             write_acq w ;; write_rel w ;; 5",
+        )
+        .expect("client parses");
+        let s = build_with_source(SOURCE);
+        Some((
+            diaframe_heaplang::parser::link(s.ws.defs(), &main),
+            Val::Int(5),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_with_two_wait_case_splits() {
+        let outcome = RwLockTicketBounded
+            .verify()
+            .unwrap_or_else(|e| panic!("rwlock_ticket_bounded stuck:\n{e}"));
+        assert_eq!(outcome.manual_steps, 1);
+        outcome.check_all().expect("traces replay");
+    }
+
+    #[test]
+    fn adequacy() {
+        let (prog, expected) = RwLockTicketBounded.adequacy_program().expect("client");
+        for v in diaframe_heaplang::interp::run_schedules(&prog, 8, 3_000_000) {
+            assert_eq!(v, expected);
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! The ticket lock.
+//!
+//! A fair lock: `acquire` draws a ticket by `FAA` on the `next` counter
+//! and spins until the `owner` counter reaches it; `release` bumps
+//! `owner`. Ghost state: the ticket dispenser (`tickets γ n` issues the
+//! exclusive `ticket γ k` fragments) and an exclusive `locked γ₂` token.
+//! The invariant's resource disjunct (`R` available ∨ holder's ticket
+//! deposited) has no pure guards, so — exactly like Caper (§6) — the
+//! proof search uses the opt-in disjunction *backtracking* of §5.3.
+
+use crate::common::{
+    eq, ex, inv, or, papp, pt, sep, tm, Example, ExampleOutcome, PaperRow, ToolStat, Ws,
+};
+use diaframe_core::{Spec, Stuck, VerifyOptions};
+use diaframe_ghost::excl_token::locked;
+use diaframe_ghost::tickets::{ticket, tickets};
+use diaframe_heaplang::{parse_expr, Expr, Val};
+use diaframe_logic::{Assertion, PredId, PredTable};
+use diaframe_term::{Sort, Term};
+
+/// The implementation. The lock value is the pair `(owner, next)`;
+/// `wait` takes `(owner_location, my_ticket)`.
+pub const SOURCE: &str = "\
+def make _ := (ref 0, ref 0)
+def wait a := if !(fst a) = snd a then () else wait a
+def acquire lk := let n := FAA(snd lk, 1) in wait (fst lk, n)
+def release lk := fst lk <- !(fst lk) + 1
+";
+
+/// Specifications and the invariant.
+pub const ANNOTATION: &str = "\
+tl_inv γ γ2 lo ln := ∃ o n. (ticket γ o ∨ locked γ2 ∗ R) ∗ lo ↦ #o ∗
+  ln ↦ #n ∗ tickets γ n
+is_tl γ γ2 lk := ∃ lo ln. ⌜lk = (#lo, #ln)⌝ ∗ inv N (tl_inv γ γ2 lo ln)
+SPEC {{ R }} make () {{ lk γ γ2, RET lk; is_tl γ γ2 lk }}
+SPEC {{ ⌜a = (#lo, #m)⌝ ∗ inv N (tl_inv γ γ2 lo ln) ∗ ticket γ m }}
+     wait a {{ RET #(); locked γ2 ∗ R }}
+SPEC {{ is_tl γ γ2 lk }} acquire lk {{ RET #(); locked γ2 ∗ R }}
+SPEC {{ is_tl γ γ2 lk ∗ locked γ2 ∗ R }} release lk {{ RET #(); True }}
+";
+
+/// The built specs.
+pub struct TicketLockSpecs {
+    /// Workspace.
+    pub ws: Ws,
+    /// The protected resource.
+    pub r: PredId,
+    /// make / wait / acquire / release.
+    pub specs: Vec<Spec>,
+}
+
+/// `tl_inv` over an arbitrary resource assertion (used by the ticket
+/// reader-writer locks to instantiate the lock at a concrete resource).
+pub fn tl_inv_with(
+    ws: &mut Ws,
+    r: Assertion,
+    g: Term,
+    g2: Term,
+    lo: Term,
+    ln: Term,
+) -> Assertion {
+    let o = ws.v(Sort::Int, "o");
+    let n = ws.v(Sort::Int, "n");
+    ex(
+        o,
+        ex(
+            n,
+            sep([
+                or(
+                    Assertion::atom(ticket(g.clone(), Term::var(o))),
+                    sep([Assertion::atom(locked(g2)), r]),
+                ),
+                pt(lo, tm::vint(Term::var(o))),
+                pt(ln, tm::vint(Term::var(n))),
+                Assertion::atom(tickets(g, Term::var(n))),
+            ]),
+        ),
+    )
+}
+
+/// `is_tl` over an arbitrary resource assertion.
+pub fn is_tl_with(ws: &mut Ws, ns: &str, r: Assertion, g: Term, g2: Term, lk: Term) -> Assertion {
+    let lo = ws.v(Sort::Loc, "lo");
+    let ln = ws.v(Sort::Loc, "ln");
+    let body = tl_inv_with(ws, r, g, g2, Term::var(lo), Term::var(ln));
+    ex(
+        lo,
+        ex(
+            ln,
+            sep([
+                eq(
+                    lk,
+                    Term::v_pair(tm::vloc(Term::var(lo)), tm::vloc(Term::var(ln))),
+                ),
+                inv(ns, body),
+            ]),
+        ),
+    )
+}
+
+/// A ticket lock instantiated at a concrete resource; see
+/// [`crate::spin_lock::LockInstance`].
+pub struct TicketLockInstance {
+    /// make / wait / acquire / release specs.
+    pub make: Spec,
+    /// The internal wait-loop helper's spec.
+    pub wait: Spec,
+    /// `acquire`'s spec.
+    pub acquire: Spec,
+    /// `release`'s spec.
+    pub release: Spec,
+    /// The manual case split the `wait` proof needs.
+    pub wait_opts: VerifyOptions,
+}
+
+/// Registers make/wait/acquire/release specs for a ticket lock protecting
+/// the assertion produced by `r`. Function names are explicit so several
+/// instances can coexist in one source.
+pub fn tl_instance(
+    ws: &mut Ws,
+    ns: &str,
+    extra_binders: &[diaframe_term::VarId],
+    r: &dyn Fn(&mut Ws) -> Assertion,
+    names: (&str, &str, &str, &str),
+) -> TicketLockInstance {
+    let (make_n, wait_n, acquire_n, release_n) = names;
+
+    // make.
+    let a = ws.v(Sort::Val, "a");
+    let w = ws.v(Sort::Val, "w");
+    let g = ws.v(Sort::GhostName, "γ");
+    let g2 = ws.v(Sort::GhostName, "γ2");
+    let pre = r(ws);
+    let post = {
+        let rr = r(ws);
+        let body = is_tl_with(ws, ns, rr, Term::var(g), Term::var(g2), Term::var(w));
+        ex(g, ex(g2, body))
+    };
+    let make = ws.spec(make_n, make_n, a, extra_binders.to_vec(), pre, w, post);
+
+    // wait.
+    let a = ws.v(Sort::Val, "a");
+    let lo = ws.v(Sort::Loc, "lo");
+    let ln = ws.v(Sort::Loc, "ln");
+    let m = ws.v(Sort::Int, "m");
+    let g = ws.v(Sort::GhostName, "γ");
+    let g2 = ws.v(Sort::GhostName, "γ2");
+    let w = ws.v(Sort::Val, "w");
+    let rr = r(ws);
+    let body = tl_inv_with(ws, rr, Term::var(g), Term::var(g2), Term::var(lo), Term::var(ln));
+    let pre = sep([
+        eq(
+            Term::var(a),
+            Term::v_pair(tm::vloc(Term::var(lo)), tm::vint(Term::var(m))),
+        ),
+        inv(ns, body),
+        Assertion::atom(ticket(Term::var(g), Term::var(m))),
+    ]);
+    let post = sep([
+        eq(Term::var(w), tm::unit()),
+        Assertion::atom(locked(Term::var(g2))),
+        r(ws),
+    ]);
+    let mut binders = extra_binders.to_vec();
+    binders.extend([lo, ln, m, g, g2]);
+    let wait = ws.spec(wait_n, wait_n, a, binders, pre, w, post);
+
+    // acquire.
+    let lk = ws.v(Sort::Val, "lk");
+    let g = ws.v(Sort::GhostName, "γ");
+    let g2 = ws.v(Sort::GhostName, "γ2");
+    let w = ws.v(Sort::Val, "w");
+    let rr = r(ws);
+    let pre = is_tl_with(ws, ns, rr, Term::var(g), Term::var(g2), Term::var(lk));
+    let post = sep([
+        eq(Term::var(w), tm::unit()),
+        Assertion::atom(locked(Term::var(g2))),
+        r(ws),
+    ]);
+    let mut binders = extra_binders.to_vec();
+    binders.extend([g, g2]);
+    let acquire = ws.spec(acquire_n, acquire_n, lk, binders, pre, w, post);
+
+    // release.
+    let lk = ws.v(Sort::Val, "lk");
+    let g = ws.v(Sort::GhostName, "γ");
+    let g2 = ws.v(Sort::GhostName, "γ2");
+    let w = ws.v(Sort::Val, "w");
+    let rr = r(ws);
+    let pre = sep([
+        is_tl_with(ws, ns, rr, Term::var(g), Term::var(g2), Term::var(lk)),
+        Assertion::atom(locked(Term::var(g2))),
+        r(ws),
+    ]);
+    let mut binders = extra_binders.to_vec();
+    binders.extend([g, g2]);
+    let release = ws.spec(
+        release_n,
+        release_n,
+        lk,
+        binders,
+        pre,
+        w,
+        eq(Term::var(w), tm::unit()),
+    );
+
+    TicketLockInstance {
+        make,
+        wait,
+        acquire,
+        release,
+        wait_opts: wait_case_split().with_backtracking(),
+    }
+}
+
+fn tl_inv(ws: &mut Ws, r: PredId, g: Term, g2: Term, lo: Term, ln: Term) -> Assertion {
+    let o = ws.v(Sort::Int, "o");
+    let n = ws.v(Sort::Int, "n");
+    // The resource disjunct comes first so that, when the invariant is
+    // re-established, the disjunct choice is made while the counters'
+    // points-to facts are still in the context (the manual case split
+    // inspects them).
+    ex(
+        o,
+        ex(
+            n,
+            sep([
+                or(
+                    Assertion::atom(ticket(g.clone(), Term::var(o))),
+                    sep([Assertion::atom(locked(g2)), papp(r, Vec::new())]),
+                ),
+                pt(lo, tm::vint(Term::var(o))),
+                pt(ln, tm::vint(Term::var(n))),
+                Assertion::atom(tickets(g, Term::var(n))),
+            ]),
+        ),
+    )
+}
+
+/// `is_tl γ γ₂ lk`.
+pub fn is_tl(ws: &mut Ws, r: PredId, g: Term, g2: Term, lk: Term) -> Assertion {
+    let lo = ws.v(Sort::Loc, "lo");
+    let ln = ws.v(Sort::Loc, "ln");
+    let body = tl_inv(
+        ws,
+        r,
+        g,
+        g2,
+        Term::var(lo),
+        Term::var(ln),
+    );
+    ex(
+        lo,
+        ex(
+            ln,
+            sep([
+                eq(
+                    lk,
+                    Term::v_pair(tm::vloc(Term::var(lo)), tm::vloc(Term::var(ln))),
+                ),
+                inv("tl", body),
+            ]),
+        ),
+    )
+}
+
+/// Builds the workspace and specs.
+#[must_use]
+pub fn build_with_source(source: &str) -> TicketLockSpecs {
+    let mut preds = PredTable::new();
+    let r = preds.fresh_plain("R");
+    let mut ws = Ws::new(preds, source);
+    let mut specs = Vec::new();
+
+    // make.
+    let a = ws.v(Sort::Val, "a");
+    let w = ws.v(Sort::Val, "w");
+    let g = ws.v(Sort::GhostName, "γ");
+    let g2 = ws.v(Sort::GhostName, "γ2");
+    let post = {
+        let body = is_tl(&mut ws, r, Term::var(g), Term::var(g2), Term::var(w));
+        ex(g, ex(g2, body))
+    };
+    specs.push(ws.spec(
+        "make",
+        "make",
+        a,
+        Vec::new(),
+        papp(r, Vec::new()),
+        w,
+        post,
+    ));
+
+    // wait: argument (#lo, #m); precondition names the invariant directly
+    // (the helper is internal to the module, like an auxiliary lemma).
+    let a = ws.v(Sort::Val, "a");
+    let lo = ws.v(Sort::Loc, "lo");
+    let ln = ws.v(Sort::Loc, "ln");
+    let m = ws.v(Sort::Int, "m");
+    let g = ws.v(Sort::GhostName, "γ");
+    let g2 = ws.v(Sort::GhostName, "γ2");
+    let w = ws.v(Sort::Val, "w");
+    let body = tl_inv(
+        &mut ws,
+        r,
+        Term::var(g),
+        Term::var(g2),
+        Term::var(lo),
+        Term::var(ln),
+    );
+    let pre = sep([
+        eq(
+            Term::var(a),
+            Term::v_pair(tm::vloc(Term::var(lo)), tm::vint(Term::var(m))),
+        ),
+        inv("tl", body),
+        Assertion::atom(ticket(Term::var(g), Term::var(m))),
+    ]);
+    let post = sep([
+        eq(Term::var(w), tm::unit()),
+        Assertion::atom(locked(Term::var(g2))),
+        papp(r, Vec::new()),
+    ]);
+    specs.push(ws.spec("wait", "wait", a, vec![lo, ln, m, g, g2], pre, w, post));
+
+    // acquire.
+    let lk = ws.v(Sort::Val, "lk");
+    let g = ws.v(Sort::GhostName, "γ");
+    let g2 = ws.v(Sort::GhostName, "γ2");
+    let w = ws.v(Sort::Val, "w");
+    let pre = is_tl(&mut ws, r, Term::var(g), Term::var(g2), Term::var(lk));
+    let post = sep([
+        eq(Term::var(w), tm::unit()),
+        Assertion::atom(locked(Term::var(g2))),
+        papp(r, Vec::new()),
+    ]);
+    specs.push(ws.spec("acquire", "acquire", lk, vec![g, g2], pre, w, post));
+
+    // release.
+    let lk = ws.v(Sort::Val, "lk");
+    let g = ws.v(Sort::GhostName, "γ");
+    let g2 = ws.v(Sort::GhostName, "γ2");
+    let w = ws.v(Sort::Val, "w");
+    let pre = sep([
+        is_tl(&mut ws, r, Term::var(g), Term::var(g2), Term::var(lk)),
+        Assertion::atom(locked(Term::var(g2))),
+        papp(r, Vec::new()),
+    ]);
+    specs.push(ws.spec(
+        "release",
+        "release",
+        lk,
+        vec![g, g2],
+        pre,
+        w,
+        eq(Term::var(w), tm::unit()),
+    ));
+
+    TicketLockSpecs { ws, r, specs }
+}
+
+/// The manual step of the `wait` proof: case split on "is the currently
+/// served ticket mine?" — `decide (o = m)` where `m` is the caller's
+/// ticket and `o` an observed counter value the solver cannot decide.
+fn wait_case_split() -> VerifyOptions {
+    use diaframe_logic::Atom;
+    use diaframe_term::{PureProp, Sym};
+    VerifyOptions::automatic().with_case_split("decide (o = m)", |ctx| {
+        let mut probe = ctx.clone();
+        let mut tickets = Vec::new();
+        let mut pt_vals = Vec::new();
+        for h in &ctx.delta {
+            match &h.assertion {
+                Assertion::Atom(Atom::Ghost(g))
+                    if g.kind == diaframe_ghost::tickets::TICKET =>
+                {
+                    tickets.push(g.args[0].clone());
+                }
+                Assertion::Atom(Atom::PointsTo { val, .. }) => {
+                    if let Term::App(Sym::VInt, args) = val.zonk(&ctx.vars) {
+                        pt_vals.push(args[0].clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        for m in &tickets {
+            for v in &pt_vals {
+                let eqp = PureProp::eq(v.clone(), m.clone());
+                if !probe.prove_pure_frozen(&eqp) && !probe.prove_pure_frozen(&eqp.negated())
+                {
+                    return Some(eqp);
+                }
+            }
+        }
+        None
+    })
+}
+
+/// The Figure 6 example.
+#[derive(Debug, Default)]
+pub struct TicketLock;
+
+impl Example for TicketLock {
+    fn name(&self) -> &'static str {
+        "ticket_lock"
+    }
+
+    fn source(&self) -> &'static str {
+        SOURCE
+    }
+
+    fn annotation(&self) -> &'static str {
+        ANNOTATION
+    }
+
+    fn paper(&self) -> PaperRow {
+        PaperRow {
+            impl_lines: 23,
+            annot: (49, 6),
+            custom: 0,
+            hints: (5, 0),
+            time: "0:23",
+            dia_total: (90, 6),
+            iris: Some(ToolStat::new(168, 78)),
+            starling: Some(ToolStat::new(66, 11)),
+            caper: Some(ToolStat::new(59, 0)),
+            voila: Some(ToolStat::new(90, 12)),
+        }
+    }
+
+    fn verify(&self) -> Result<ExampleOutcome, Box<Stuck>> {
+        let s = build_with_source(SOURCE);
+        let registry = diaframe_ghost::Registry::standard();
+        s.ws.verify_all(
+            &registry,
+            &[
+                (&s.specs[0], VerifyOptions::automatic().with_backtracking()),
+                (&s.specs[1], wait_case_split().with_backtracking()),
+                (&s.specs[2], VerifyOptions::automatic().with_backtracking()),
+                (&s.specs[3], VerifyOptions::automatic().with_backtracking()),
+            ],
+        )
+    }
+
+    fn verify_broken(&self) -> Option<Result<ExampleOutcome, Box<Stuck>>> {
+        // Sabotage: wait compares against the *next* counter instead of
+        // the caller's ticket — mutual exclusion is gone.
+        let broken = "\
+def make _ := (ref 0, ref 0)
+def wait a := if !(fst a) = snd a then () else wait a
+def acquire lk := let n := FAA(snd lk, 1) in wait (fst lk, n + 1)
+def release lk := fst lk <- !(fst lk) + 1
+";
+        let s = build_with_source(broken);
+        let registry = diaframe_ghost::Registry::standard();
+        Some(s.ws.verify_all(
+            &registry,
+            &[(&s.specs[2], VerifyOptions::automatic().with_backtracking())],
+        ))
+    }
+
+    fn adequacy_program(&self) -> Option<(Expr, Val)> {
+        let main = parse_expr(
+            "let lk := make () in
+             let c := ref 0 in
+             fork { acquire lk ;; c <- !c + 1 ;; release lk } ;;
+             acquire lk ;; c <- !c + 1 ;; release lk ;;
+             (rec spin u :=
+                acquire lk ;;
+                let v := !c in
+                release lk ;;
+                if v = 2 then v else spin u) ()",
+        )
+        .expect("client parses");
+        let s = build_with_source(SOURCE);
+        Some((
+            diaframe_heaplang::parser::link(s.ws.defs(), &main),
+            Val::Int(2),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verifies_with_backtracking() {
+        let outcome = TicketLock
+            .verify()
+            .unwrap_or_else(|e| panic!("ticket_lock stuck:\n{e}"));
+        // One manual case split (in wait), mirroring the paper's 6 lines
+        // of proof work on this example.
+        assert_eq!(outcome.manual_steps, 1);
+        outcome.check_all().expect("traces replay");
+        let hints = outcome.hints_used();
+        assert!(hints.contains("ticket-issue"));
+        assert!(hints.contains("tickets-allocate"));
+    }
+
+    #[test]
+    fn broken_variant_fails() {
+        assert!(TicketLock.verify_broken().expect("broken").is_err());
+    }
+
+    #[test]
+    fn adequacy() {
+        let (prog, expected) = TicketLock.adequacy_program().expect("client");
+        for v in diaframe_heaplang::interp::run_schedules(&prog, 10, 3_000_000) {
+            assert_eq!(v, expected);
+        }
+    }
+}

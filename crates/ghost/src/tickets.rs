@@ -1,0 +1,196 @@
+//! Ticket dispensers — authoritative naturals with exclusive tickets.
+//!
+//! `tickets γ n` says tickets `0 … n-1` have been issued; `ticket γ k` is
+//! exclusive ownership of ticket `k`. Backed by the authoritative
+//! construction over sums ([`diaframe_ra::auth`]); used by the ticket
+//! locks and the bounded counter.
+
+use crate::library::{GhostLibrary, HintCandidate, MergeOutcome};
+use diaframe_logic::{Assertion, Atom, GhostAtom, GhostKind};
+use diaframe_term::{PureProp, Sort, Term, VarCtx};
+
+/// `tickets γ n` — the dispenser authority (`n` = next free ticket).
+pub const TICKETS_AUTH: GhostKind = GhostKind {
+    id: 20,
+    name: "tickets",
+};
+
+/// `ticket γ k` — exclusive ownership of ticket `k`.
+pub const TICKET: GhostKind = GhostKind {
+    id: 21,
+    name: "ticket",
+};
+
+/// Builds `tickets γ n`.
+#[must_use]
+pub fn tickets(gname: Term, next: Term) -> Atom {
+    Atom::Ghost(GhostAtom {
+        kind: TICKETS_AUTH,
+        gname,
+        pred: None,
+        args: vec![next],
+    })
+}
+
+/// Builds `ticket γ k`.
+#[must_use]
+pub fn ticket(gname: Term, k: Term) -> Atom {
+    Atom::Ghost(GhostAtom {
+        kind: TICKET,
+        gname,
+        pred: None,
+        args: vec![k],
+    })
+}
+
+/// The ticket-dispenser library.
+#[derive(Debug, Default)]
+pub struct TicketLib;
+
+impl GhostLibrary for TicketLib {
+    fn name(&self) -> &'static str {
+        "tickets"
+    }
+
+    fn kinds(&self) -> Vec<GhostKind> {
+        vec![TICKETS_AUTH, TICKET]
+    }
+
+    fn implied_facts(&self, atom: &GhostAtom) -> Vec<PureProp> {
+        if atom.kind == TICKETS_AUTH || atom.kind == TICKET {
+            // Counts/tickets are naturals.
+            vec![PureProp::le(Term::int(0), atom.args[0].clone())]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn merge(&self, ctx: &mut VarCtx, a: &GhostAtom, b: &GhostAtom) -> Option<MergeOutcome> {
+        let pair = (a.kind, b.kind);
+        if pair == (TICKETS_AUTH, TICKETS_AUTH) {
+            return Some(MergeOutcome::Contradiction {
+                rule: "tickets-auth-exclusive",
+            });
+        }
+        if pair == (TICKET, TICKET) {
+            // Two tickets are distinct — and identical tickets are
+            // contradictory. Syntactic equality decides which fact fires.
+            let (x, y) = (a.args[0].zonk(ctx), b.args[0].zonk(ctx));
+            if diaframe_term::normalize::arith_eq(ctx, &x, &y) {
+                return Some(MergeOutcome::Contradiction {
+                    rule: "ticket-exclusive",
+                });
+            }
+            return Some(MergeOutcome::Facts {
+                rule: "ticket-distinct",
+                facts: vec![PureProp::ne(x, y)],
+            });
+        }
+        if pair == (TICKETS_AUTH, TICKET) {
+            return Some(MergeOutcome::Facts {
+                rule: "ticket-bound",
+                facts: vec![PureProp::lt(b.args[0].clone(), a.args[0].clone())],
+            });
+        }
+        if pair == (TICKET, TICKETS_AUTH) {
+            return Some(MergeOutcome::Facts {
+                rule: "ticket-bound",
+                facts: vec![PureProp::lt(a.args[0].clone(), b.args[0].clone())],
+            });
+        }
+        None
+    }
+
+    fn hints(&self, _ctx: &mut VarCtx, hyp: &GhostAtom, goal: &Atom) -> Vec<HintCandidate> {
+        let Atom::Ghost(g) = goal else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        if hyp.kind == TICKETS_AUTH && g.kind == TICKETS_AUTH {
+            let n = hyp.args[0].clone();
+            let n2 = g.args[0].clone();
+            // ticket-issue: tickets n ⤳ tickets (n+1) ∗ ticket n.
+            out.push(
+                HintCandidate::new("ticket-issue")
+                    .unify(g.gname.clone(), hyp.gname.clone())
+                    .guard(PureProp::eq(n2, Term::add(n.clone(), Term::int(1))))
+                    .residue(Assertion::atom(ticket(hyp.gname.clone(), n))),
+            );
+        }
+        out
+    }
+
+    fn allocations(&self, ctx: &mut VarCtx, goal: &GhostAtom) -> Vec<HintCandidate> {
+        if goal.kind != TICKETS_AUTH {
+            return Vec::new();
+        }
+        let fresh = Term::var(ctx.fresh_var_base(Sort::GhostName, "γ"));
+        // tickets-allocate: ⊢ ¤|⇛ ∃γ. tickets γ 0.
+        vec![HintCandidate::new("tickets-allocate")
+            .unify(goal.gname.clone(), fresh)
+            .guard(PureProp::eq(goal.args[0].clone(), Term::int(0)))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghost(a: Atom) -> GhostAtom {
+        match a {
+            Atom::Ghost(g) => g,
+            other => panic!("not a ghost atom: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ticket_bound_and_distinctness() {
+        let mut ctx = VarCtx::new();
+        let g = Term::var(ctx.fresh_var_base(Sort::GhostName, "γ"));
+        let n = Term::var(ctx.fresh_var(Sort::Int, "n"));
+        let k = Term::var(ctx.fresh_var(Sort::Int, "k"));
+        let lib = TicketLib;
+        let auth = ghost(tickets(g.clone(), n.clone()));
+        let tk = ghost(ticket(g.clone(), k.clone()));
+        match lib.merge(&mut ctx, &auth, &tk) {
+            Some(MergeOutcome::Facts { facts, .. }) => {
+                assert_eq!(facts, vec![PureProp::lt(k.clone(), n)]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // Identical tickets contradict; distinct tickets yield ≠.
+        assert!(matches!(
+            lib.merge(&mut ctx, &tk, &tk.clone()),
+            Some(MergeOutcome::Contradiction { .. })
+        ));
+        let tk2 = ghost(ticket(g, Term::add(k, Term::int(1))));
+        assert!(matches!(
+            lib.merge(&mut ctx, &tk.clone(), &tk2),
+            Some(MergeOutcome::Facts { .. })
+        ));
+    }
+
+    #[test]
+    fn issue_hint() {
+        let mut ctx = VarCtx::new();
+        let g = Term::var(ctx.fresh_var_base(Sort::GhostName, "γ"));
+        let n = Term::var(ctx.fresh_var(Sort::Int, "n"));
+        let lib = TicketLib;
+        let hyp = ghost(tickets(g.clone(), n.clone()));
+        let goal = tickets(g, Term::add(n, Term::int(1)));
+        let cands = lib.hints(&mut ctx, &hyp, &goal);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].name, "ticket-issue");
+        assert!(!cands[0].residue.is_emp());
+    }
+
+    #[test]
+    fn allocation_starts_at_zero() {
+        let mut ctx = VarCtx::new();
+        let e = ctx.fresh_evar(Sort::GhostName);
+        let lib = TicketLib;
+        let goal = ghost(tickets(Term::evar(e), Term::int(0)));
+        let cands = lib.allocations(&mut ctx, &goal);
+        assert_eq!(cands.len(), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! The heap: a finite map from locations to values.
+
+use crate::value::Val;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A heap location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(u64);
+
+impl Loc {
+    #[must_use]
+    /// A location from its raw index.
+    pub fn new(raw: u64) -> Loc {
+        Loc(raw)
+    }
+
+    /// The raw index of the location.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// The mutable store of a running machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Heap {
+    cells: BTreeMap<Loc, Val>,
+    next: u64,
+}
+
+impl Heap {
+    #[must_use]
+    /// An empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocates a fresh location holding `v`.
+    pub fn alloc(&mut self, v: Val) -> Loc {
+        let l = Loc(self.next);
+        self.next += 1;
+        self.cells.insert(l, v);
+        l
+    }
+
+    /// Reads a location.
+    #[must_use]
+    pub fn load(&self, l: Loc) -> Option<&Val> {
+        self.cells.get(&l)
+    }
+
+    /// Writes a location that must already be allocated; returns the old
+    /// value, or `None` if the location was unallocated (a stuck store).
+    pub fn store(&mut self, l: Loc, v: Val) -> Option<Val> {
+        match self.cells.get_mut(&l) {
+            Some(slot) => Some(std::mem::replace(slot, v)),
+            None => None,
+        }
+    }
+
+    /// Deallocates a location; returns the removed value if it existed.
+    pub fn free(&mut self, l: Loc) -> Option<Val> {
+        self.cells.remove(&l)
+    }
+
+    /// Number of live cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    #[must_use]
+    /// Whether the heap has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates over the live cells in location order.
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, &Val)> {
+        self.cells.iter().map(|(l, v)| (*l, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_load_store() {
+        let mut h = Heap::new();
+        let l = h.alloc(Val::int(1));
+        assert_eq!(h.load(l), Some(&Val::int(1)));
+        assert_eq!(h.store(l, Val::int(2)), Some(Val::int(1)));
+        assert_eq!(h.load(l), Some(&Val::int(2)));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn distinct_locations() {
+        let mut h = Heap::new();
+        let a = h.alloc(Val::int(1));
+        let b = h.alloc(Val::int(2));
+        assert_ne!(a, b);
+        assert_eq!(h.load(a), Some(&Val::int(1)));
+        assert_eq!(h.load(b), Some(&Val::int(2)));
+    }
+
+    #[test]
+    fn store_unallocated_fails() {
+        let mut h = Heap::new();
+        assert_eq!(h.store(Loc::new(99), Val::Unit), None);
+    }
+
+    #[test]
+    fn free_removes() {
+        let mut h = Heap::new();
+        let l = h.alloc(Val::Unit);
+        assert_eq!(h.free(l), Some(Val::Unit));
+        assert_eq!(h.load(l), None);
+        assert!(h.is_empty());
+    }
+}

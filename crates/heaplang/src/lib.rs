@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! HeapLang — the ML-like concurrent language of Iris, in Rust.
+//!
+//! This crate implements the substrate the Diaframe paper verifies programs
+//! in: an untyped, higher-order, concurrent language with a heap, structured
+//! values, `CAS`/`FAA` atomics and `fork`. It provides:
+//!
+//! * the AST ([`Val`], [`Expr`]) with substitution of closed values;
+//! * a **parser** for an ML-like surface syntax ([`parse_expr`],
+//!   [`parse_program`]) in which the benchmark programs are written;
+//! * **evaluation contexts** and redex decomposition ([`ectx`]), shared
+//!   between the interpreter and the prover's symbolic execution;
+//! * the **small-step operational semantics** ([`step`]) and a thread-pool
+//!   **interpreter** ([`interp`]) with pluggable schedulers ([`scheduler`]),
+//!   used for the executable adequacy checks of the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use diaframe_heaplang::{parse_expr, interp::Machine};
+//!
+//! let prog = parse_expr("let x := ref 41 in x <- !x + 1 ;; !x")?;
+//! let result = Machine::new(prog).run_round_robin(10_000)?;
+//! assert_eq!(result.to_string(), "42");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ectx;
+pub mod expr;
+pub mod heap;
+pub mod interp;
+pub mod parser;
+pub mod pretty;
+pub mod scheduler;
+pub mod step;
+pub mod value;
+
+pub use expr::{BinOp, Expr, UnOp};
+pub use heap::{Heap, Loc};
+pub use parser::{parse_expr, parse_program, ParseError};
+pub use value::Val;

@@ -1,0 +1,132 @@
+//! Pretty-printing of expressions (a compact, single-line rendering used in
+//! proof-state displays and error messages).
+
+use crate::expr::{Expr, UnOp};
+use std::fmt;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, f)
+    }
+}
+
+fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        Expr::Val(v) => write!(f, "{v}"),
+        Expr::Var(x) => write!(f, "{x}"),
+        Expr::Rec { f: fun, x, body } => {
+            let fun = fun.as_deref().unwrap_or("_");
+            let x = x.as_deref().unwrap_or("_");
+            write!(f, "(rec {fun} {x} := {body})")
+        }
+        Expr::App(a, b) => {
+            fmt_tight(a, f)?;
+            write!(f, " ")?;
+            fmt_tight(b, f)
+        }
+        Expr::UnOp(UnOp::Neg, a) => {
+            write!(f, "-")?;
+            fmt_tight(a, f)
+        }
+        Expr::UnOp(UnOp::Not, a) => {
+            write!(f, "~")?;
+            fmt_tight(a, f)
+        }
+        Expr::BinOp(op, a, b) => {
+            fmt_tight(a, f)?;
+            write!(f, " {op} ")?;
+            fmt_tight(b, f)
+        }
+        Expr::If(c, t, e) => write!(f, "if {c} then {t} else {e}"),
+        Expr::Pair(a, b) => write!(f, "({a}, {b})"),
+        Expr::Fst(a) => {
+            write!(f, "fst ")?;
+            fmt_tight(a, f)
+        }
+        Expr::Snd(a) => {
+            write!(f, "snd ")?;
+            fmt_tight(a, f)
+        }
+        Expr::InjL(a) => {
+            write!(f, "inl ")?;
+            fmt_tight(a, f)
+        }
+        Expr::InjR(a) => {
+            write!(f, "inr ")?;
+            fmt_tight(a, f)
+        }
+        Expr::Case(s, l, r) => {
+            write!(f, "match {s} with inl => {l} | inr => {r} end")
+        }
+        Expr::Alloc(a) => {
+            write!(f, "ref ")?;
+            fmt_tight(a, f)
+        }
+        Expr::Load(a) => {
+            write!(f, "!")?;
+            fmt_tight(a, f)
+        }
+        Expr::Store(l, v) => {
+            fmt_tight(l, f)?;
+            write!(f, " <- ")?;
+            fmt_tight(v, f)
+        }
+        Expr::Cas(l, o, n) => write!(f, "CAS({l}, {o}, {n})"),
+        Expr::Faa(l, k) => write!(f, "FAA({l}, {k})"),
+        Expr::Fork(e) => write!(f, "fork {{ {e} }}"),
+    }
+}
+
+/// Parenthesises compound expressions in tight positions.
+fn fmt_tight(e: &Expr, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let atomic = match e {
+        // A negative literal must be parenthesised in tight positions:
+        // `f -1` would re-lex as subtraction.
+        Expr::Val(crate::value::Val::Int(n)) => *n >= 0,
+        Expr::Val(_)
+        | Expr::Var(_)
+        | Expr::Pair(..)
+        | Expr::Cas(..)
+        | Expr::Faa(..)
+        | Expr::Rec { .. } => true,
+        _ => false,
+    };
+    if atomic {
+        fmt_expr(e, f)
+    } else {
+        write!(f, "(")?;
+        fmt_expr(e, f)?;
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    #[test]
+    fn renders_programs() {
+        let e = Expr::if_(
+            Expr::cas(Expr::var("l"), Expr::bool(false), Expr::bool(true)),
+            Expr::unit(),
+            Expr::app(Expr::var("acquire"), Expr::var("l")),
+        );
+        assert_eq!(
+            e.to_string(),
+            "if CAS(l, false, true) then () else acquire l"
+        );
+    }
+
+    #[test]
+    fn parenthesises_nesting() {
+        let e = Expr::load(Expr::load(Expr::var("l")));
+        assert_eq!(e.to_string(), "!(!l)");
+        let e = Expr::binop(
+            BinOp::Add,
+            Expr::int(1),
+            Expr::binop(BinOp::Mul, Expr::int(2), Expr::int(3)),
+        );
+        assert_eq!(e.to_string(), "1 + (2 * 3)");
+    }
+}

@@ -1,0 +1,125 @@
+//! Thread schedulers for the interpreter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Picks which runnable thread steps next.
+///
+/// The slice passed to [`Scheduler::pick`] contains the indices of threads
+/// that are not yet values; it is always non-empty.
+pub trait Scheduler {
+    /// Chooses one element of `runnable`.
+    fn pick(&mut self, runnable: &[usize]) -> usize;
+}
+
+/// Deterministic round-robin scheduling.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    counter: usize,
+}
+
+impl RoundRobin {
+    #[must_use]
+    /// A fresh round-robin scheduler.
+    pub fn new() -> RoundRobin {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, runnable: &[usize]) -> usize {
+        let idx = self.counter % runnable.len();
+        self.counter += 1;
+        runnable[idx]
+    }
+}
+
+/// Seeded random scheduling — used to explore interleavings in tests.
+#[derive(Debug)]
+pub struct RandomSched {
+    rng: StdRng,
+}
+
+impl RandomSched {
+    #[must_use]
+    /// A seeded pseudo-random scheduler (deterministic per seed).
+    pub fn new(seed: u64) -> RandomSched {
+        RandomSched {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomSched {
+    fn pick(&mut self, runnable: &[usize]) -> usize {
+        runnable[self.rng.gen_range(0..runnable.len())]
+    }
+}
+
+/// A scheduler that follows a fixed script of choices (indices into the
+/// runnable list), wrapping around at the end. Useful for regression tests
+/// that need one specific interleaving.
+#[derive(Debug)]
+pub struct Scripted {
+    script: Vec<usize>,
+    pos: usize,
+}
+
+impl Scripted {
+    #[must_use]
+    /// A scheduler replaying the exact thread sequence `script`.
+    pub fn new(script: Vec<usize>) -> Scripted {
+        Scripted { script, pos: 0 }
+    }
+}
+
+impl Scheduler for Scripted {
+    fn pick(&mut self, runnable: &[usize]) -> usize {
+        let choice = if self.script.is_empty() {
+            0
+        } else {
+            let c = self.script[self.pos % self.script.len()];
+            self.pos += 1;
+            c
+        };
+        runnable[choice % runnable.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobin::new();
+        let r = [10, 20, 30];
+        assert_eq!(s.pick(&r), 10);
+        assert_eq!(s.pick(&r), 20);
+        assert_eq!(s.pick(&r), 30);
+        assert_eq!(s.pick(&r), 10);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let r: Vec<usize> = (0..10).collect();
+        let picks1: Vec<usize> = {
+            let mut s = RandomSched::new(42);
+            (0..20).map(|_| s.pick(&r)).collect()
+        };
+        let picks2: Vec<usize> = {
+            let mut s = RandomSched::new(42);
+            (0..20).map(|_| s.pick(&r)).collect()
+        };
+        assert_eq!(picks1, picks2);
+    }
+
+    #[test]
+    fn scripted_follows_script() {
+        let mut s = Scripted::new(vec![1, 0]);
+        let r = [7, 8];
+        assert_eq!(s.pick(&r), 8);
+        assert_eq!(s.pick(&r), 7);
+        assert_eq!(s.pick(&r), 8);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! The Diaframe assertion language — a deep embedding of the grammar of
+//! §5.1 of the paper.
+//!
+//! Assertions ([`Assertion`]) are built from *atoms* ([`Atom`]) — points-to
+//! assertions, ghost assertions, invariants, weakest preconditions, the
+//! `χ` close-marker — and the connectives of higher-order separation logic:
+//! `∗`, `−∗`, `∨`, `∃`, `∀`, `⌜φ⌝`, the later modality `▷`, the basic
+//! update `¤|⇛` and the fancy update `|⇛E₁ E₂`.
+//!
+//! Binding is *locally named*: a binder carries a placeholder
+//! [`diaframe_term::VarId`]; opening a binder substitutes a fresh variable
+//! for the placeholder, so one assertion (e.g. an invariant body) can be
+//! opened many times with distinct fresh names.
+//!
+//! Invariant *masks* ([`mask::MaskT`]) are `⊤ ∖ {N₁, …}` or mask evars,
+//! with their own store ([`mask::MaskStore`]) mirroring the term evar
+//! discipline.
+//!
+//! The paper's grammar classifies assertions into atoms `A`, left-goals
+//! `L`, unstructured hypotheses `U` and clean hypotheses `H_C`; the
+//! [`classify`] module implements those syntactic categories.
+
+pub mod assertion;
+pub mod atom;
+pub mod classify;
+pub mod display;
+pub mod mask;
+pub mod namespace;
+pub mod pred;
+
+pub use assertion::{Assertion, Binder};
+pub use atom::{Atom, GhostAtom, GhostKind, WpPost};
+pub use classify::Class;
+pub use mask::{Mask, MaskStore, MaskT, MaskVarId};
+pub use namespace::Namespace;
+pub use pred::{PredId, PredInfo, PredTable};

@@ -1,0 +1,56 @@
+//! Invariant namespaces.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An invariant namespace `N`.
+///
+/// Namespaces identify invariants for the purpose of mask bookkeeping:
+/// opening the invariant named `N` removes `N` from the mask so it cannot
+/// be opened again (reentrancy would be unsound). Distinct names are
+/// disjoint — the hierarchical structure of Iris namespaces is not needed
+/// by the benchmark and is omitted.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Namespace(Arc<str>);
+
+impl Namespace {
+    #[must_use]
+    /// A namespace with the given name.
+    pub fn new(name: &str) -> Namespace {
+        Namespace(Arc::from(name))
+    }
+
+    #[must_use]
+    /// The namespace's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Namespace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Namespace {
+    fn from(s: &str) -> Namespace {
+        Namespace::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_and_display() {
+        let a = Namespace::new("lock");
+        let b = Namespace::new("lock");
+        let c = Namespace::new("arc");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.to_string(), "lock");
+        assert_eq!(a.as_str(), "lock");
+    }
+}

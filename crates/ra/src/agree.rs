@@ -1,0 +1,61 @@
+//! The agreement resource algebra `Agree(T)`.
+//!
+//! Everyone who owns a fragment agrees on the value; the value can never
+//! change. Backs ghost variables that are set once and shared (e.g. the
+//! value stored behind a one-shot protocol).
+
+use crate::Ra;
+
+/// An element of `Agree(T)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Agree<T> {
+    /// Agreement on a value.
+    On(T),
+    /// Result of composing disagreeing elements.
+    Invalid,
+}
+
+impl<T: Clone + PartialEq + std::fmt::Debug> Ra for Agree<T> {
+    fn op(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Agree::On(a), Agree::On(b)) if a == b => Agree::On(a.clone()),
+            _ => Agree::Invalid,
+        }
+    }
+
+    fn valid(&self) -> bool {
+        matches!(self, Agree::On(_))
+    }
+
+    fn core(&self) -> Option<Self> {
+        // Agreement is persistent: it is its own core.
+        Some(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_ra_laws;
+
+    fn elems() -> Vec<Agree<u8>> {
+        vec![Agree::On(0), Agree::On(1), Agree::Invalid]
+    }
+
+    #[test]
+    fn laws() {
+        check_ra_laws(&elems());
+    }
+
+    #[test]
+    fn duplicable() {
+        let a = Agree::On(3);
+        assert_eq!(a.op(&a), a);
+        assert!(a.op(&a).valid());
+    }
+
+    #[test]
+    fn disagreement_is_invalid() {
+        assert!(!Agree::On(1).op(&Agree::On(2)).valid());
+    }
+}

@@ -1,0 +1,58 @@
+//! The exclusive resource algebra `Excl(T)`.
+//!
+//! Backs the spin lock's `locked γ ≜ Excl(()) at γ` (footnote 1 of the
+//! paper): composition of any two exclusive elements is invalid, which is
+//! exactly the `locked-unique` interaction rule.
+
+use crate::Ra;
+
+/// An element of `Excl(T)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Excl<T> {
+    /// Exclusive ownership of `T`.
+    Own(T),
+    /// The invalid element (result of composing two exclusives).
+    Invalid,
+}
+
+impl<T: Clone + PartialEq + std::fmt::Debug> Ra for Excl<T> {
+    fn op(&self, _other: &Self) -> Self {
+        Excl::Invalid
+    }
+
+    fn valid(&self) -> bool {
+        matches!(self, Excl::Own(_))
+    }
+
+    fn core(&self) -> Option<Self> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_ra_laws;
+
+    fn elems() -> Vec<Excl<u8>> {
+        vec![Excl::Own(0), Excl::Own(1), Excl::Invalid]
+    }
+
+    #[test]
+    fn laws() {
+        check_ra_laws(&elems());
+    }
+
+    #[test]
+    fn locked_unique() {
+        // locked γ ∗ locked γ ⊢ False.
+        let l: Excl<()> = Excl::Own(());
+        assert!(!l.op(&l).valid());
+    }
+
+    #[test]
+    fn allocation_target_is_valid() {
+        // locked-allocate allocates a valid element.
+        assert!(Excl::Own(()).valid());
+    }
+}

@@ -1,0 +1,76 @@
+//! The fractional resource algebra: rationals in `(0, 1]` under addition.
+
+use crate::Ra;
+use diaframe_term::qp::Rat;
+
+/// An element of the fractional RA. Valid iff `0 < q ≤ 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FracRa(pub Rat);
+
+impl FracRa {
+    /// The full fraction.
+    #[must_use]
+    pub fn one() -> FracRa {
+        FracRa(Rat::ONE)
+    }
+
+    /// A fraction `n/d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn new(n: i128, d: i128) -> FracRa {
+        FracRa(Rat::new(n, d))
+    }
+}
+
+impl Ra for FracRa {
+    fn op(&self, other: &Self) -> Self {
+        FracRa(self.0 + other.0)
+    }
+
+    fn valid(&self) -> bool {
+        self.0.is_positive() && self.0 <= Rat::ONE
+    }
+
+    fn core(&self) -> Option<Self> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_ra_laws;
+
+    fn elems() -> Vec<FracRa> {
+        vec![
+            FracRa::new(1, 4),
+            FracRa::new(1, 2),
+            FracRa::new(3, 4),
+            FracRa::one(),
+            FracRa::new(5, 4),
+        ]
+    }
+
+    #[test]
+    fn laws() {
+        check_ra_laws(&elems());
+    }
+
+    #[test]
+    fn halves_combine_to_one() {
+        let h = FracRa::new(1, 2);
+        assert_eq!(h.op(&h), FracRa::one());
+        assert!(h.op(&h).valid());
+    }
+
+    #[test]
+    fn more_than_one_is_invalid() {
+        // Two full fractions cannot coexist — this is why ℓ ↦ v is
+        // exclusive.
+        assert!(!FracRa::one().op(&FracRa::one()).valid());
+        assert!(!FracRa::one().op(&FracRa::new(1, 100)).valid());
+    }
+}

@@ -1,0 +1,102 @@
+//! Natural-number resource algebras: sum and max.
+
+use crate::{Ra, Ucmra};
+
+/// Naturals under addition. `a ≼ b ⟺ a ≤ b`. Always valid.
+///
+/// Fragments of `Auth<NatSum>` count contributions — e.g. the number of
+/// tickets handed out by a ticket lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NatSum(pub u64);
+
+impl Ra for NatSum {
+    fn op(&self, other: &Self) -> Self {
+        NatSum(self.0 + other.0)
+    }
+
+    fn valid(&self) -> bool {
+        true
+    }
+
+    fn core(&self) -> Option<Self> {
+        Some(NatSum(0))
+    }
+}
+
+impl Ucmra for NatSum {
+    fn unit() -> Self {
+        NatSum(0)
+    }
+
+    fn included(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+}
+
+/// Naturals under maximum. `a ≼ b ⟺ a ≤ b`. Always valid; every element
+/// is its own core (max is idempotent), so fragments are persistent lower
+/// bounds — e.g. "ticket `n` has been issued".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NatMax(pub u64);
+
+impl Ra for NatMax {
+    fn op(&self, other: &Self) -> Self {
+        NatMax(self.0.max(other.0))
+    }
+
+    fn valid(&self) -> bool {
+        true
+    }
+
+    fn core(&self) -> Option<Self> {
+        Some(*self)
+    }
+}
+
+impl Ucmra for NatMax {
+    fn unit() -> Self {
+        NatMax(0)
+    }
+
+    fn included(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{check_ra_laws, check_ucmra_laws};
+
+    fn sums() -> Vec<NatSum> {
+        (0..6).map(NatSum).collect()
+    }
+
+    fn maxes() -> Vec<NatMax> {
+        (0..6).map(NatMax).collect()
+    }
+
+    #[test]
+    fn sum_laws() {
+        check_ra_laws(&sums());
+        check_ucmra_laws(&sums());
+    }
+
+    #[test]
+    fn max_laws() {
+        check_ra_laws(&maxes());
+        check_ucmra_laws(&maxes());
+    }
+
+    #[test]
+    fn max_is_persistent() {
+        let m = NatMax(3);
+        assert_eq!(m.core(), Some(m));
+        assert_eq!(m.op(&m), m);
+    }
+
+    #[test]
+    fn sum_fragments_accumulate() {
+        assert_eq!(NatSum(2).op(&NatSum(3)), NatSum(5));
+    }
+}

@@ -1,0 +1,105 @@
+//! The one-shot resource algebra.
+//!
+//! A protocol that starts `Pending` and is fired exactly once to `Shot(v)`;
+//! after firing, `Shot(v)` is persistent and everyone agrees on `v`. Backs
+//! fork/join-style ghost state: the forked thread shoots the result, the
+//! joiner learns it.
+
+use crate::Ra;
+use diaframe_term::qp::Rat;
+
+/// An element of the one-shot RA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OneShot<T> {
+    /// Not yet fired; the fraction (`0 < q ≤ 1`) shares the right to fire.
+    /// Firing requires the full fraction.
+    Pending(Rat),
+    /// Fired with value `v`; persistent.
+    Shot(T),
+    /// The invalid element.
+    Invalid,
+}
+
+impl<T> OneShot<T> {
+    /// The full pending element (the unique right to fire).
+    #[must_use]
+    pub fn pending() -> OneShot<T> {
+        OneShot::Pending(Rat::ONE)
+    }
+
+    /// A half share of the pending right.
+    #[must_use]
+    pub fn pending_half() -> OneShot<T> {
+        OneShot::Pending(Rat::new(1, 2))
+    }
+}
+
+impl<T: Clone + PartialEq + std::fmt::Debug> Ra for OneShot<T> {
+    fn op(&self, other: &Self) -> Self {
+        use OneShot::*;
+        match (self, other) {
+            (Pending(a), Pending(b)) => Pending(*a + *b),
+            (Shot(a), Shot(b)) if a == b => Shot(a.clone()),
+            _ => Invalid,
+        }
+    }
+
+    fn valid(&self) -> bool {
+        match self {
+            OneShot::Pending(q) => q.is_positive() && *q <= Rat::ONE,
+            OneShot::Shot(_) => true,
+            OneShot::Invalid => false,
+        }
+    }
+
+    fn core(&self) -> Option<Self> {
+        match self {
+            OneShot::Shot(_) => Some(self.clone()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{check_fpu, check_not_fpu, check_ra_laws};
+
+    fn elems() -> Vec<OneShot<u8>> {
+        vec![
+            OneShot::pending(),
+            OneShot::pending_half(),
+            OneShot::Pending(Rat::new(3, 2)),
+            OneShot::Shot(0),
+            OneShot::Shot(1),
+            OneShot::Invalid,
+        ]
+    }
+
+    #[test]
+    fn laws() {
+        check_ra_laws(&elems());
+    }
+
+    #[test]
+    fn firing_needs_full_pending() {
+        // Pending(1) ⤳ Shot(v) is frame-preserving…
+        check_fpu(&OneShot::pending(), &OneShot::Shot(7), &elems());
+        // …but firing with only half the right is not: the other half
+        // would be framed alongside the shot.
+        check_not_fpu(&OneShot::pending_half(), &OneShot::Shot(7), &elems());
+    }
+
+    #[test]
+    fn shot_is_persistent_and_agrees() {
+        let s: OneShot<u8> = OneShot::Shot(3);
+        assert_eq!(s.core(), Some(s.clone()));
+        assert_eq!(s.op(&s), s);
+        assert!(!s.op(&OneShot::Shot(4)).valid());
+    }
+
+    #[test]
+    fn pending_excludes_shot() {
+        assert!(!OneShot::pending().op(&OneShot::Shot(1)).valid());
+    }
+}

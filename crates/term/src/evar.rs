@@ -1,0 +1,360 @@
+//! Variable and evar contexts with scope levels.
+//!
+//! The *scope level* machinery implements the delayed-instantiation
+//! discipline of §3.2 of the Diaframe paper. Every universal variable and
+//! every evar records the level at which it was created; the level increases
+//! whenever the proof strategy introduces a universal variable (e.g. when an
+//! invariant is opened and its body's existentials enter the context). An
+//! evar of level `k` may only be solved by a term whose free variables all
+//! have level `≤ k`: a variable introduced *after* the evar could not have
+//! been chosen when the evar was created, so capturing it would be unsound
+//! (see the failing `FAA` derivation in the paper).
+
+use crate::sort::Sort;
+use crate::term::Term;
+use std::fmt;
+
+/// A scope level. Level 0 is the outermost scope.
+pub type Level = u32;
+
+/// Identifier of a universal variable, unique within one [`VarCtx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// The raw index of the variable.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of an existential variable, unique within one [`VarCtx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EVarId(pub(crate) u32);
+
+impl EVarId {
+    /// The raw index of the evar.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EVarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?e{}", self.0)
+    }
+}
+
+/// Metadata for a universal variable.
+#[derive(Debug, Clone)]
+pub struct VarInfo {
+    /// The sort of the variable.
+    pub sort: Sort,
+    /// Scope level at which the variable was introduced.
+    pub level: Level,
+    /// A human-readable name hint for display.
+    pub name: String,
+}
+
+/// Metadata for an existential variable.
+#[derive(Debug, Clone)]
+pub struct EVarInfo {
+    /// The sort of the evar.
+    pub sort: Sort,
+    /// Scope level: the maximum level of variables the solution may mention.
+    /// May be *lowered* by level pruning when the evar appears in the
+    /// solution of a lower-level evar.
+    pub level: Level,
+    /// The solution, once unification determines one.
+    pub solution: Option<Term>,
+}
+
+/// The arena of variables and evars for one verification, together with the
+/// current scope level.
+#[derive(Debug, Clone, Default)]
+pub struct VarCtx {
+    vars: Vec<VarInfo>,
+    evars: Vec<EVarInfo>,
+    level: Level,
+}
+
+impl VarCtx {
+    #[must_use]
+    /// An empty context at level 0.
+    pub fn new() -> VarCtx {
+        VarCtx::default()
+    }
+
+    /// The current scope level.
+    #[must_use]
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Enters a deeper scope (called when universal variables are about to be
+    /// introduced, e.g. on invariant opening). Returns the new level.
+    pub fn push_level(&mut self) -> Level {
+        self.level += 1;
+        self.level
+    }
+
+    /// Creates a fresh universal variable at the *current* level.
+    pub fn fresh_var(&mut self, sort: Sort, name: &str) -> VarId {
+        let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
+        self.vars.push(VarInfo {
+            sort,
+            level: self.level,
+            name: name.to_owned(),
+        });
+        id
+    }
+
+    /// Creates a fresh universal variable at the *base* level (level 0).
+    ///
+    /// Used for allocation witnesses (fresh ghost names): a freshly
+    /// allocated name depends on nothing in the context, so evars of any
+    /// scope may be instantiated with it.
+    pub fn fresh_var_base(&mut self, sort: Sort, name: &str) -> VarId {
+        let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
+        self.vars.push(VarInfo {
+            sort,
+            level: 0,
+            name: name.to_owned(),
+        });
+        id
+    }
+
+    /// Creates a fresh evar at the *current* level.
+    pub fn fresh_evar(&mut self, sort: Sort) -> EVarId {
+        let id = EVarId(u32::try_from(self.evars.len()).expect("too many evars"));
+        self.evars.push(EVarInfo {
+            sort,
+            level: self.level,
+            solution: None,
+        });
+        id
+    }
+
+    #[must_use]
+    /// The sort of a variable.
+    pub fn var_sort(&self, v: VarId) -> Sort {
+        self.vars[v.index()].sort
+    }
+
+    #[must_use]
+    /// The scope level a variable was created at.
+    pub fn var_level(&self, v: VarId) -> Level {
+        self.vars[v.index()].level
+    }
+
+    #[must_use]
+    /// The display name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    #[must_use]
+    /// The sort of an evar.
+    pub fn evar_sort(&self, e: EVarId) -> Sort {
+        self.evars[e.index()].sort
+    }
+
+    #[must_use]
+    /// The scope level an evar was created at.
+    pub fn evar_level(&self, e: EVarId) -> Level {
+        self.evars[e.index()].level
+    }
+
+    /// The recorded solution of an evar, if any (not recursively resolved;
+    /// use [`Term::zonk`]).
+    #[must_use]
+    pub fn evar_solution(&self, e: EVarId) -> Option<&Term> {
+        self.evars[e.index()].solution.as_ref()
+    }
+
+    /// Whether the evar is still unsolved.
+    #[must_use]
+    pub fn evar_unsolved(&self, e: EVarId) -> bool {
+        self.evars[e.index()].solution.is_none()
+    }
+
+    /// Number of variables allocated so far.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of evars allocated so far.
+    #[must_use]
+    pub fn num_evars(&self) -> usize {
+        self.evars.len()
+    }
+
+    /// Records a solution for an evar **without** scope or occurs checking.
+    ///
+    /// This is the raw operation; [`crate::unify::unify`] performs the
+    /// checked assignment. It is exposed for the proof checker, which
+    /// re-validates assignments independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evar is already solved.
+    pub fn solve_evar(&mut self, e: EVarId, t: Term) {
+        let info = &mut self.evars[e.index()];
+        assert!(info.solution.is_none(), "evar {e} solved twice");
+        info.solution = Some(t);
+    }
+
+    /// Applies a function to every recorded evar solution (used when the
+    /// proof engine substitutes a universal variable away: solutions may
+    /// mention it too).
+    pub fn map_solutions(&mut self, f: impl Fn(&Term) -> Term) {
+        for info in &mut self.evars {
+            if let Some(sol) = &info.solution {
+                info.solution = Some(f(sol));
+            }
+        }
+    }
+
+    /// Lowers the level of an evar (level pruning). The level can only
+    /// decrease; attempts to raise it are ignored.
+    pub fn lower_evar_level(&mut self, e: EVarId, level: Level) {
+        let info = &mut self.evars[e.index()];
+        if level < info.level {
+            info.level = level;
+        }
+    }
+
+    /// Checks the §3.2 scope discipline: may an evar at `level` be solved by
+    /// `t`? All free variables of `t` must have been introduced at or below
+    /// that level. Evars inside `t` are acceptable at any level — they get
+    /// *pruned* (lowered) to `level` by the caller.
+    #[must_use]
+    pub fn scope_check(&self, level: Level, t: &Term) -> bool {
+        t.free_vars().iter().all(|v| self.var_level(*v) <= level)
+    }
+
+    /// A checkpoint for undoing speculative work (hint matching performs
+    /// local backtracking).
+    #[must_use]
+    pub fn checkpoint(&self) -> VarCtxMark {
+        VarCtxMark {
+            num_vars: self.vars.len(),
+            num_evars: self.evars.len(),
+            level: self.level,
+            solved: self
+                .evars
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| i.solution.is_some())
+                .map(|(i, _)| EVarId(i as u32))
+                .collect(),
+            levels: self.evars.iter().map(|i| i.level).collect(),
+        }
+    }
+
+    /// Rolls back to a checkpoint: newly created vars/evars are dropped and
+    /// solutions recorded since the mark are erased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entities created before the mark were removed (cannot
+    /// happen through the public API).
+    pub fn rollback(&mut self, mark: &VarCtxMark) {
+        assert!(self.vars.len() >= mark.num_vars);
+        assert!(self.evars.len() >= mark.num_evars);
+        self.vars.truncate(mark.num_vars);
+        self.evars.truncate(mark.num_evars);
+        self.level = mark.level;
+        for (i, info) in self.evars.iter_mut().enumerate() {
+            let id = EVarId(i as u32);
+            if info.solution.is_some() && !mark.solved.contains(&id) {
+                info.solution = None;
+            }
+            info.level = mark.levels[i];
+        }
+    }
+}
+
+/// An undo point produced by [`VarCtx::checkpoint`].
+#[derive(Debug, Clone)]
+pub struct VarCtxMark {
+    num_vars: usize,
+    num_evars: usize,
+    level: Level,
+    solved: Vec<EVarId>,
+    levels: Vec<Level>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vars_record_level() {
+        let mut ctx = VarCtx::new();
+        let a = ctx.fresh_var(Sort::Int, "a");
+        ctx.push_level();
+        let b = ctx.fresh_var(Sort::Int, "b");
+        assert_eq!(ctx.var_level(a), 0);
+        assert_eq!(ctx.var_level(b), 1);
+        assert_eq!(ctx.var_name(b), "b");
+    }
+
+    #[test]
+    fn scope_check_rejects_later_vars() {
+        let mut ctx = VarCtx::new();
+        let e = ctx.fresh_evar(Sort::Int);
+        let lvl = ctx.evar_level(e);
+        ctx.push_level();
+        let z = ctx.fresh_var(Sort::Int, "z");
+        // The paper's unsound FAA derivation: ?z1 must not unify with z.
+        assert!(!ctx.scope_check(lvl, &Term::var(z)));
+        assert!(ctx.scope_check(lvl, &Term::int(3)));
+    }
+
+    #[test]
+    fn level_pruning_only_lowers() {
+        let mut ctx = VarCtx::new();
+        ctx.push_level();
+        ctx.push_level();
+        let e = ctx.fresh_evar(Sort::Int);
+        assert_eq!(ctx.evar_level(e), 2);
+        ctx.lower_evar_level(e, 1);
+        assert_eq!(ctx.evar_level(e), 1);
+        ctx.lower_evar_level(e, 3);
+        assert_eq!(ctx.evar_level(e), 1);
+    }
+
+    #[test]
+    fn rollback_undoes_solutions_and_freshness() {
+        let mut ctx = VarCtx::new();
+        let e = ctx.fresh_evar(Sort::Int);
+        let mark = ctx.checkpoint();
+        let f = ctx.fresh_evar(Sort::Int);
+        ctx.solve_evar(e, Term::int(1));
+        ctx.solve_evar(f, Term::int(2));
+        ctx.push_level();
+        ctx.rollback(&mark);
+        assert_eq!(ctx.num_evars(), 1);
+        assert!(ctx.evar_unsolved(e));
+        assert_eq!(ctx.level(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "solved twice")]
+    fn double_solve_panics() {
+        let mut ctx = VarCtx::new();
+        let e = ctx.fresh_evar(Sort::Int);
+        ctx.solve_evar(e, Term::int(1));
+        ctx.solve_evar(e, Term::int(2));
+    }
+}

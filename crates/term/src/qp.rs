@@ -1,0 +1,333 @@
+//! Rational numbers, used for fractional permissions.
+//!
+//! The paper's fractional permissions live in `Q₊ = {q ∈ ℚ | q > 0}`; hint
+//! side conditions additionally compute differences like `q₂ − q₁`, so the
+//! representation here is full rationals [`Rat`], with [`Qp`] the checked
+//! positive wrapper used by points-to assertions.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// An arbitrary rational number with an always-normalised representation
+/// (`den > 0`, `gcd(num, den) == 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+impl Rat {
+    /// The rational `0`.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The rational `1`.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rat {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    #[must_use]
+    /// The rational `n/1`.
+    pub fn from_int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    #[must_use]
+    /// The numerator of the reduced form.
+    pub fn numerator(self) -> i128 {
+        self.num
+    }
+
+    #[must_use]
+    /// The (positive) denominator of the reduced form.
+    pub fn denominator(self) -> i128 {
+        self.den
+    }
+
+    #[must_use]
+    /// Whether the rational is `0`.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    #[must_use]
+    /// Whether the rational is `> 0`.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    #[must_use]
+    /// Whether the rational is `< 0`.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    #[must_use]
+    /// The absolute value.
+    pub fn abs(self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Reciprocal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    #[must_use]
+    pub fn recip(self) -> Rat {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rat::new(self.den, self.num)
+    }
+
+    /// `self` as an integer if it is integral.
+    #[must_use]
+    pub fn to_integer(self) -> Option<i128> {
+        (self.den == 1).then_some(self.num)
+    }
+
+    /// Largest integer `≤ self`.
+    #[must_use]
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer `≥ self`.
+    #[must_use]
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::ZERO
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        Rat::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)] // division *is* multiplication by the reciprocal
+impl Div for Rat {
+    type Output = Rat;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i128> for Rat {
+    fn from(n: i128) -> Rat {
+        Rat::from_int(n)
+    }
+}
+
+/// A *positive* rational — the fractional permissions `Q₊` of the paper.
+///
+/// `Qp` values arise as literal fractions in points-to assertions
+/// (`ℓ ↦{q} v`). Arithmetic producing possibly non-positive results is done
+/// on [`Rat`] with positivity side conditions discharged by the pure solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Qp(Rat);
+
+impl Qp {
+    /// The full permission `1`.
+    pub const ONE: Qp = Qp(Rat::ONE);
+
+    /// Creates a positive fraction.
+    ///
+    /// Returns `None` when `num/den ≤ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: i128, den: i128) -> Option<Qp> {
+        let r = Rat::new(num, den);
+        r.is_positive().then_some(Qp(r))
+    }
+
+    /// The half permission `1/2`.
+    #[must_use]
+    pub fn half() -> Qp {
+        Qp(Rat::new(1, 2))
+    }
+
+    #[must_use]
+    /// The underlying rational.
+    pub fn as_rat(self) -> Rat {
+        self.0
+    }
+
+    /// Checked conversion from a rational.
+    #[must_use]
+    pub fn from_rat(r: Rat) -> Option<Qp> {
+        r.is_positive().then_some(Qp(r))
+    }
+
+    /// Fraction addition (total: positives are closed under `+`).
+    #[must_use]
+    pub fn checked_add(self, rhs: Qp) -> Qp {
+        Qp(self.0 + rhs.0)
+    }
+
+    /// Fraction subtraction; `None` when the result would not be positive.
+    #[must_use]
+    pub fn checked_sub(self, rhs: Qp) -> Option<Qp> {
+        Qp::from_rat(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Qp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl Default for Qp {
+    fn default() -> Self {
+        Qp::ONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, 5), Rat::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rat::new(1, 2);
+        let b = Rat::new(1, 3);
+        assert_eq!(a + b, Rat::new(5, 6));
+        assert_eq!(a - b, Rat::new(1, 6));
+        assert_eq!(a * b, Rat::new(1, 6));
+        assert_eq!(a / b, Rat::new(3, 2));
+        assert_eq!(-a, Rat::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert_eq!(Rat::new(3, 3).cmp(&Rat::ONE), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::new(7, 2).floor(), 3);
+        assert_eq!(Rat::new(7, 2).ceil(), 4);
+        assert_eq!(Rat::new(-7, 2).floor(), -4);
+        assert_eq!(Rat::new(-7, 2).ceil(), -3);
+        assert_eq!(Rat::from_int(5).floor(), 5);
+        assert_eq!(Rat::from_int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn qp_is_positive_only() {
+        assert!(Qp::new(1, 2).is_some());
+        assert!(Qp::new(0, 2).is_none());
+        assert!(Qp::new(-1, 2).is_none());
+    }
+
+    #[test]
+    fn qp_halves_sum_to_one() {
+        let h = Qp::half();
+        assert_eq!(h.checked_add(h), Qp::ONE);
+        assert_eq!(Qp::ONE.checked_sub(h), Some(h));
+        assert_eq!(h.checked_sub(h), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(3, 4).to_string(), "3/4");
+        assert_eq!(Rat::from_int(-2).to_string(), "-2");
+        assert_eq!(Qp::ONE.to_string(), "1");
+    }
+}

@@ -1,0 +1,422 @@
+//! Linear arithmetic by Fourier–Motzkin elimination with integer tightening.
+//!
+//! This is the `lia`-replacement: a refutation procedure for conjunctions of
+//! linear constraints over ℤ (with tightening, so e.g. `0 < z ∧ z < 2` gives
+//! `z = 1`) and ℚ (plain Fourier–Motzkin, which is complete for rationals).
+//! Disequalities are handled by bounded case splitting.
+
+use crate::evar::VarCtx;
+use crate::normalize::{normalize, LinComb};
+use crate::pure::PureProp;
+use crate::qp::Rat;
+use crate::term::Term;
+
+/// A constraint `lc ≤ 0` (or `lc < 0` when `strict`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// The linear combination `lc` constrained to be ≥ 0 (or > 0).
+    pub lc: LinComb,
+    /// Whether the constraint is strict (`> 0` instead of `≥ 0`).
+    pub strict: bool,
+}
+
+/// Upper bound on constraints produced during elimination; beyond this the
+/// procedure gives up (answers "not refuted") rather than blowing up.
+const MAX_CONSTRAINTS: usize = 4096;
+
+/// Upper bound on disequality case splits (2^n branches).
+const MAX_NE_SPLITS: usize = 6;
+
+/// Result of the refutation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinResult {
+    /// The constraint set is unsatisfiable.
+    Unsat,
+    /// Satisfiable, or the procedure gave up.
+    Unknown,
+}
+
+/// The linear solver state: a set of constraints to be refuted.
+#[derive(Debug, Clone, Default)]
+pub struct Linear {
+    constraints: Vec<Constraint>,
+    diseqs: Vec<LinComb>, // lc ≠ 0
+    trivially_false: bool,
+}
+
+impl Linear {
+    #[must_use]
+    /// An empty linear-arithmetic state.
+    pub fn new() -> Linear {
+        Linear::default()
+    }
+
+    /// Adds a numeric literal fact. Non-numeric or unsupported facts are
+    /// ignored (which is sound for refutation).
+    pub fn add_fact(&mut self, ctx: &VarCtx, p: &PureProp) {
+        match p {
+            PureProp::Le(a, b) => self.add_le(ctx, a, b, false),
+            PureProp::Lt(a, b) => self.add_le(ctx, a, b, true),
+            PureProp::Eq(a, b) => {
+                self.add_le(ctx, a, b, false);
+                self.add_le(ctx, b, a, false);
+            }
+            PureProp::Ne(a, b) => {
+                let lc = normalize(ctx, a).minus(&normalize(ctx, b));
+                if lc.is_constant() {
+                    if lc.constant.is_zero() {
+                        self.trivially_false = true;
+                    }
+                } else {
+                    self.diseqs.push(lc);
+                }
+            }
+            PureProp::False => self.trivially_false = true,
+            _ => {}
+        }
+    }
+
+    fn add_le(&mut self, ctx: &VarCtx, a: &Term, b: &Term, strict: bool) {
+        // a ≤ b  ⇝  a - b ≤ 0.
+        let lc = normalize(ctx, a).minus(&normalize(ctx, b));
+        self.push(ctx, Constraint { lc, strict });
+    }
+
+    fn push(&mut self, ctx: &VarCtx, c: Constraint) {
+        let c = tighten(ctx, c);
+        if c.lc.is_constant() {
+            let holds = if c.strict {
+                c.lc.constant.is_negative()
+            } else {
+                !c.lc.constant.is_positive()
+            };
+            if !holds {
+                self.trivially_false = true;
+            }
+            return;
+        }
+        self.constraints.push(c);
+    }
+
+    /// Attempts to refute the accumulated constraints.
+    #[must_use]
+    pub fn refute(&self, ctx: &VarCtx) -> LinResult {
+        if self.trivially_false {
+            return LinResult::Unsat;
+        }
+        self.refute_with_splits(ctx, &self.diseqs)
+    }
+
+    fn refute_with_splits(&self, ctx: &VarCtx, diseqs: &[LinComb]) -> LinResult {
+        match diseqs.split_first() {
+            None => fourier_motzkin(ctx, self.constraints.clone()),
+            Some((first, rest)) => {
+                if diseqs.len() > MAX_NE_SPLITS {
+                    // Too many splits: drop the extras (sound: fewer facts).
+                    return self.refute_with_splits(ctx, &diseqs[..MAX_NE_SPLITS]);
+                }
+                // lc ≠ 0  ⇝  lc < 0 ∨ lc > 0; both branches must be UNSAT.
+                for sign in [Rat::ONE, -Rat::ONE] {
+                    let mut branch = self.clone();
+                    branch.diseqs = Vec::new();
+                    branch.push(
+                        ctx,
+                        Constraint {
+                            lc: first.scale(sign),
+                            strict: true,
+                        },
+                    );
+                    if branch.trivially_false {
+                        continue;
+                    }
+                    if branch.refute_with_splits(ctx, rest) == LinResult::Unknown {
+                        return LinResult::Unknown;
+                    }
+                }
+                LinResult::Unsat
+            }
+        }
+    }
+}
+
+/// Integer tightening: when every atom of the constraint is integer-sorted
+/// and the coefficients can be scaled to integers, `lc < 0` becomes
+/// `lc + 1 ≤ 0`, and the constant is tightened by the gcd of the variable
+/// coefficients.
+fn tighten(ctx: &VarCtx, c: Constraint) -> Constraint {
+    let all_int = c
+        .lc
+        .coeffs
+        .keys()
+        .all(|t| t.sort(ctx).is_integral());
+    if !all_int || c.lc.coeffs.is_empty() {
+        return c;
+    }
+    // Scale to integer coefficients.
+    let mut lcm: i128 = c.lc.constant.denominator();
+    for q in c.lc.coeffs.values() {
+        let d = q.denominator();
+        lcm = lcm / gcd_i(lcm, d) * d;
+    }
+    let scaled = c.lc.scale(Rat::from_int(lcm));
+    let mut constant = scaled.constant;
+    let mut strict = c.strict;
+    if strict {
+        // lc < 0 over ℤ  ⟺  lc + 1 ≤ 0.
+        constant = constant + Rat::ONE;
+        strict = false;
+    }
+    // gcd tightening of the constant term.
+    let g = scaled
+        .coeffs
+        .values()
+        .fold(0i128, |acc, q| gcd_i(acc, q.numerator()));
+    if g > 1 {
+        let gq = Rat::from_int(g);
+        let tightened = Rat::from_int((constant / gq).ceil());
+        let mut lc = scaled.scale(gq.recip());
+        lc.constant = tightened;
+        return Constraint { lc, strict };
+    }
+    let mut lc = scaled;
+    lc.constant = constant;
+    Constraint { lc, strict }
+}
+
+fn gcd_i(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn fourier_motzkin(ctx: &VarCtx, mut cs: Vec<Constraint>) -> LinResult {
+    loop {
+        // Constant constraints are either trivially violated (UNSAT) or
+        // dropped.
+        let mut next = Vec::new();
+        for c in cs {
+            if c.lc.is_constant() {
+                let holds = if c.strict {
+                    c.lc.constant.is_negative()
+                } else {
+                    !c.lc.constant.is_positive()
+                };
+                if !holds {
+                    return LinResult::Unsat;
+                }
+            } else {
+                next.push(c);
+            }
+        }
+        cs = next;
+        if cs.is_empty() {
+            return LinResult::Unknown;
+        }
+        // Pick the atom with the fewest upper×lower combinations.
+        let mut atoms: Vec<Term> = Vec::new();
+        for c in &cs {
+            for t in c.lc.coeffs.keys() {
+                if !atoms.contains(t) {
+                    atoms.push(t.clone());
+                }
+            }
+        }
+        let atom = atoms
+            .iter()
+            .min_by_key(|t| {
+                let upper = cs
+                    .iter()
+                    .filter(|c| c.lc.coeffs.get(t).is_some_and(|q| q.is_positive()))
+                    .count();
+                let lower = cs
+                    .iter()
+                    .filter(|c| c.lc.coeffs.get(t).is_some_and(|q| q.is_negative()))
+                    .count();
+                upper * lower
+            })
+            .cloned()
+            .expect("non-empty constraint set has atoms");
+        let (mut uppers, mut lowers, mut rest) = (Vec::new(), Vec::new(), Vec::new());
+        for c in cs {
+            match c.lc.coeffs.get(&atom) {
+                Some(q) if q.is_positive() => uppers.push(c),
+                Some(_) => lowers.push(c),
+                None => rest.push(c),
+            }
+        }
+        // Combine: from  a·x + r ≤ 0 (a>0)  and  -b·x + s ≤ 0 (b>0),
+        // eliminate x:  b·r + a·s ≤ 0.
+        for u in &uppers {
+            let a = *u.lc.coeffs.get(&atom).expect("upper has atom");
+            for l in &lowers {
+                let b = -*l.lc.coeffs.get(&atom).expect("lower has atom");
+                let combined = u.lc.scale(b).plus(&l.lc.scale(a));
+                debug_assert!(!combined.coeffs.contains_key(&atom));
+                let c = tighten(
+                    ctx,
+                    Constraint {
+                        lc: combined,
+                        strict: u.strict || l.strict,
+                    },
+                );
+                rest.push(c);
+                if rest.len() > MAX_CONSTRAINTS {
+                    return LinResult::Unknown;
+                }
+            }
+        }
+        cs = rest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qp::Qp;
+    use crate::sort::Sort;
+
+    fn int_var(ctx: &mut VarCtx, n: &str) -> Term {
+        Term::var(ctx.fresh_var(Sort::Int, n))
+    }
+
+    fn refutes(ctx: &VarCtx, facts: &[PureProp]) -> bool {
+        let mut lin = Linear::new();
+        for f in facts {
+            lin.add_fact(ctx, f);
+        }
+        lin.refute(ctx) == LinResult::Unsat
+    }
+
+    #[test]
+    fn simple_bounds() {
+        let mut ctx = VarCtx::new();
+        let z = int_var(&mut ctx, "z");
+        assert!(refutes(
+            &ctx,
+            &[
+                PureProp::lt(Term::int(0), z.clone()),
+                PureProp::le(z.clone(), Term::int(0)),
+            ]
+        ));
+        assert!(!refutes(&ctx, &[PureProp::lt(Term::int(0), z)]));
+    }
+
+    #[test]
+    fn integer_tightening() {
+        let mut ctx = VarCtx::new();
+        let z = int_var(&mut ctx, "z");
+        // 0 < z ∧ z < 2 ∧ z ≠ 1 is UNSAT over ℤ (but not over ℚ).
+        assert!(refutes(
+            &ctx,
+            &[
+                PureProp::lt(Term::int(0), z.clone()),
+                PureProp::lt(z.clone(), Term::int(2)),
+                PureProp::ne(z, Term::int(1)),
+            ]
+        ));
+    }
+
+    #[test]
+    fn gcd_tightening() {
+        let mut ctx = VarCtx::new();
+        let z = int_var(&mut ctx, "z");
+        // 2z ≤ 3 ∧ 2 ≤ 2z  ⇒ z = 1; conflicts with z ≠ 1.
+        assert!(refutes(
+            &ctx,
+            &[
+                PureProp::le(Term::mul(Term::int(2), z.clone()), Term::int(3)),
+                PureProp::le(Term::int(2), Term::mul(Term::int(2), z.clone())),
+                PureProp::ne(z, Term::int(1)),
+            ]
+        ));
+    }
+
+    #[test]
+    fn elimination_chains() {
+        let mut ctx = VarCtx::new();
+        let x = int_var(&mut ctx, "x");
+        let y = int_var(&mut ctx, "y");
+        let z = int_var(&mut ctx, "z");
+        // x ≤ y ∧ y ≤ z ∧ z < x is UNSAT.
+        assert!(refutes(
+            &ctx,
+            &[
+                PureProp::le(x.clone(), y.clone()),
+                PureProp::le(y, z.clone()),
+                PureProp::lt(z, x),
+            ]
+        ));
+    }
+
+    #[test]
+    fn rational_constraints() {
+        let mut ctx = VarCtx::new();
+        let q = Term::var(ctx.fresh_var(Sort::Qp, "q"));
+        // q ≤ 1/2 ∧ 1 ≤ q is UNSAT over ℚ.
+        assert!(refutes(
+            &ctx,
+            &[
+                PureProp::le(q.clone(), Term::qp(Qp::half())),
+                PureProp::le(Term::qp_one(), q),
+            ]
+        ));
+        // Over ℚ, 0 < q ∧ q < 1 is satisfiable (no tightening).
+        let r = Term::var(ctx.fresh_var(Sort::Qp, "r"));
+        assert!(!refutes(
+            &ctx,
+            &[
+                PureProp::lt(Term::qp(Qp::new(1, 1000).unwrap()), r.clone()),
+                PureProp::lt(r, Term::qp_one()),
+            ]
+        ));
+    }
+
+    #[test]
+    fn equalities() {
+        let mut ctx = VarCtx::new();
+        let z = int_var(&mut ctx, "z");
+        assert!(refutes(
+            &ctx,
+            &[
+                PureProp::eq(z.clone(), Term::int(5)),
+                PureProp::lt(z, Term::int(5)),
+            ]
+        ));
+    }
+
+    #[test]
+    fn constant_diseq() {
+        let ctx = VarCtx::new();
+        assert!(refutes(&ctx, &[PureProp::ne(Term::int(3), Term::int(3))]));
+        assert!(!refutes(&ctx, &[PureProp::ne(Term::int(3), Term::int(4))]));
+    }
+
+    #[test]
+    fn arc_drop_case_split() {
+        // The two branches of the ARC drop proof (§2.2):
+        // with 0 < z and z = 1:  ¬(0 < z - 1) holds.
+        // with 0 < z and z > 1:  0 < z - 1 holds, i.e. ¬ is refuted.
+        let mut ctx = VarCtx::new();
+        let z = int_var(&mut ctx, "z");
+        let zm1 = Term::sub(z.clone(), Term::int(1));
+        assert!(refutes(
+            &ctx,
+            &[
+                PureProp::lt(Term::int(0), z.clone()),
+                PureProp::eq(z.clone(), Term::int(1)),
+                PureProp::lt(Term::int(0), zm1.clone()),
+            ]
+        ));
+        assert!(refutes(
+            &ctx,
+            &[
+                PureProp::lt(Term::int(1), z),
+                PureProp::le(zm1, Term::int(0)),
+            ]
+        ));
+    }
+}

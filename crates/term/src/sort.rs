@@ -1,0 +1,81 @@
+//! Sorts of the term language.
+
+use std::fmt;
+
+/// The sort (simple type) of a [`crate::Term`].
+///
+/// The term language is multi-sorted: unification refuses to equate terms of
+/// different sorts, and the pure solver dispatches on the sort (integers get
+/// integer tightening, fractions are solved over the rationals, values and
+/// locations go through congruence closure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sort {
+    /// Unbounded integers `ℤ` (HeapLang's integer literals).
+    Int,
+    /// Booleans.
+    Bool,
+    /// HeapLang values (the sort of `wp` return values).
+    Val,
+    /// Heap locations.
+    Loc,
+    /// Positive rationals `Q₊`, the sort of fractional permissions.
+    Qp,
+    /// Ghost names `γ`.
+    GhostName,
+    /// The unit sort (used for tokens whose payload carries no information).
+    Unit,
+}
+
+impl Sort {
+    /// Whether the linear-arithmetic solver handles this sort.
+    #[must_use]
+    pub fn is_numeric(self) -> bool {
+        matches!(self, Sort::Int | Sort::Qp)
+    }
+
+    /// Whether integer-specific reasoning (tightening) applies.
+    #[must_use]
+    pub fn is_integral(self) -> bool {
+        matches!(self, Sort::Int)
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sort::Int => "Z",
+            Sort::Bool => "bool",
+            Sort::Val => "val",
+            Sort::Loc => "loc",
+            Sort::Qp => "Qp",
+            Sort::GhostName => "gname",
+            Sort::Unit => "unit",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_sorts() {
+        assert!(Sort::Int.is_numeric());
+        assert!(Sort::Qp.is_numeric());
+        assert!(!Sort::Val.is_numeric());
+        assert!(!Sort::Bool.is_numeric());
+    }
+
+    #[test]
+    fn integral_sorts() {
+        assert!(Sort::Int.is_integral());
+        assert!(!Sort::Qp.is_integral());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Sort::Qp.to_string(), "Qp");
+        assert_eq!(Sort::GhostName.to_string(), "gname");
+    }
+}

@@ -1,0 +1,35 @@
+//! The §2.2 walkthrough: the ARC's `drop` gets stuck without the manual
+//! case distinction — this example shows the stuck proof state the paper
+//! prints, then completes the proof with the tactic.
+//!
+//! ```text
+//! cargo run --example arc_walkthrough
+//! ```
+
+use diaframe::core::VerifyOptions;
+use diaframe::examples::arc;
+use diaframe::examples::Example;
+
+fn main() {
+    // 1. Run drop's verification with NO manual help: the automation
+    //    stops at the invariant-closing disjunction, exactly as in §2.2.
+    let s = arc::build_with_source(arc::SOURCE);
+    let registry = diaframe::ghost::Registry::standard();
+    let stuck = s
+        .ws
+        .verify_all(&registry, &[(&s.specs[3], VerifyOptions::automatic())])
+        .expect_err("drop must get stuck without the case split");
+    println!("=== drop without the case split: the §2.2 stuck state ===");
+    println!("{stuck}");
+
+    // 2. With the one-line case distinction (destruct (decide (z = 1))),
+    //    everything goes through.
+    let outcome = arc::Arc.verify().expect("arc verifies with the tactic");
+    println!("=== with the case split ===");
+    println!(
+        "verified {} specs, {} manual step(s), hints used: {:?}",
+        outcome.proofs.len(),
+        outcome.manual_steps,
+        outcome.hints_used()
+    );
+}

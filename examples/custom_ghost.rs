@@ -1,0 +1,220 @@
+//! Extending the hint database with a *user-defined* ghost library — the
+//! §4.2 story: "users can extend the hint database with hints for their
+//! own ghost state".
+//!
+//! We define a **sticky bit**: `unset γ` is the exclusive right to trip
+//! the bit, `set γ` is the persistent fact that it was tripped. The
+//! library contributes three rules to the proof search:
+//!
+//! * `sticky-alloc`  — `⊢ ¤|⇛ ∃γ. unset γ` (an `ε₁` last-resort hint);
+//! * `sticky-trip`   — `unset γ ⊫ set γ` (a mutation hint);
+//! * `sticky-agree`  — owning `unset γ ∗ set γ` is contradictory.
+//!
+//! With those three rules registered, a write-once cell verifies fully
+//! automatically: `trip` trips the bit while storing 1, and `observe`
+//! proves it can only ever read 1 afterwards *because* the `b = 0` branch
+//! of the invariant clashes with the caller's `set γ`.
+//!
+//! ```text
+//! cargo run --example custom_ghost
+//! ```
+
+use diaframe::core::VerifyOptions;
+use diaframe::examples::common::{eq, ex, inv, or, pt, sep, tm, Ws};
+use diaframe::ghost::{GhostLibrary, HintCandidate, MergeOutcome, Registry};
+use diaframe::logic::{Assertion, Atom, GhostAtom, GhostKind, PredTable};
+use diaframe::term::{Sort, Term, VarCtx};
+
+/// `unset γ` — the exclusive right to trip the bit.
+const UNSET: GhostKind = GhostKind {
+    id: 900,
+    name: "unset",
+};
+
+/// `set γ` — the persistent fact that the bit was tripped.
+const SET: GhostKind = GhostKind { id: 901, name: "set" };
+
+fn unset(gname: Term) -> Atom {
+    Atom::Ghost(GhostAtom {
+        kind: UNSET,
+        gname,
+        pred: None,
+        args: Vec::new(),
+    })
+}
+
+fn set(gname: Term) -> Atom {
+    Atom::Ghost(GhostAtom {
+        kind: SET,
+        gname,
+        pred: None,
+        args: Vec::new(),
+    })
+}
+
+/// The user-defined library: three rules, ~40 lines.
+#[derive(Debug, Default)]
+struct StickyLib;
+
+impl GhostLibrary for StickyLib {
+    fn name(&self) -> &'static str {
+        "sticky"
+    }
+
+    fn kinds(&self) -> Vec<GhostKind> {
+        vec![UNSET, SET]
+    }
+
+    fn is_persistent(&self, atom: &GhostAtom) -> bool {
+        atom.kind == SET
+    }
+
+    fn merge(&self, _ctx: &mut VarCtx, a: &GhostAtom, b: &GhostAtom) -> Option<MergeOutcome> {
+        // The right to trip is exclusive…
+        if a.kind == UNSET && b.kind == UNSET {
+            return Some(MergeOutcome::Contradiction {
+                rule: "unset-exclusive",
+            });
+        }
+        // …and incompatible with the bit already being set.
+        if (a.kind == UNSET && b.kind == SET) || (a.kind == SET && b.kind == UNSET) {
+            return Some(MergeOutcome::Contradiction {
+                rule: "sticky-agree",
+            });
+        }
+        None
+    }
+
+    fn hints(&self, _ctx: &mut VarCtx, hyp: &GhostAtom, goal: &Atom) -> Vec<HintCandidate> {
+        let Atom::Ghost(g) = goal else {
+            return Vec::new();
+        };
+        if hyp.kind == UNSET && g.kind == SET {
+            // sticky-trip: unset γ ⊫ set γ ∗ [set γ] — the residue `U` of
+            // the hint judgment hands the caller a second (persistent)
+            // copy of the freshly set bit, so the postcondition can keep
+            // it even though the goal copy goes into the invariant.
+            return vec![HintCandidate::new("sticky-trip")
+                .unify(g.gname.clone(), hyp.gname.clone())
+                .residue(Assertion::atom(set(hyp.gname.clone())))];
+        }
+        Vec::new()
+    }
+
+    fn allocations(&self, ctx: &mut VarCtx, goal: &GhostAtom) -> Vec<HintCandidate> {
+        if goal.kind != UNSET {
+            return Vec::new();
+        }
+        let fresh = Term::var(ctx.fresh_var_base(Sort::GhostName, "γ"));
+        vec![HintCandidate::new("sticky-alloc").unify(goal.gname.clone(), fresh)]
+    }
+}
+
+const SOURCE: &str = "\
+def make _ := ref 0
+def trip f := f <- 1
+def observe f := !f
+";
+
+/// `is_flag γ v`: `∃ℓ. ⌜v = #ℓ⌝ ∗ inv N (∃b. ℓ ↦ #b ∗ (⌜b = 0⌝ ∗ unset γ ∨ ⌜b = 1⌝ ∗ set γ))`.
+fn is_flag(ws: &mut Ws, gamma: Term, v: Term) -> Assertion {
+    let l = ws.v(Sort::Loc, "l");
+    let b = ws.v(Sort::Int, "b");
+    let body = ex(
+        b,
+        sep([
+            pt(Term::var(l), tm::vint(Term::var(b))),
+            or(
+                sep([
+                    eq(Term::var(b), Term::int(0)),
+                    Assertion::atom(unset(gamma.clone())),
+                ]),
+                sep([
+                    eq(Term::var(b), Term::int(1)),
+                    Assertion::atom(set(gamma)),
+                ]),
+            ),
+        ]),
+    );
+    ex(l, sep([eq(v, tm::vloc(Term::var(l))), inv("flag", body)]))
+}
+
+fn main() {
+    // Register the user library *next to* the built-in ones.
+    let mut registry = Registry::standard();
+    registry.register(Box::new(StickyLib));
+
+    let mut ws = Ws::new(PredTable::new(), SOURCE);
+
+    // SPEC {True} make () {v γ, RET v; is_flag γ v}
+    let a = ws.v(Sort::Val, "a");
+    let w = ws.v(Sort::Val, "w");
+    let g = ws.v(Sort::GhostName, "γ");
+    let post = {
+        let body = is_flag(&mut ws, Term::var(g), Term::var(w));
+        ex(g, body)
+    };
+    let make = ws.spec("make", "make", a, Vec::new(), Assertion::emp(), w, post);
+
+    // SPEC {is_flag γ f} trip f {RET (); set γ}
+    let f = ws.v(Sort::Val, "f");
+    let g = ws.v(Sort::GhostName, "γ");
+    let w = ws.v(Sort::Val, "w");
+    let pre = is_flag(&mut ws, Term::var(g), Term::var(f));
+    let post = sep([eq(Term::var(w), tm::unit()), Assertion::atom(set(Term::var(g)))]);
+    let trip = ws.spec("trip", "trip", f, vec![g], pre, w, post);
+
+    // SPEC {is_flag γ f ∗ set γ} observe f {RET v; v = #1}
+    let f = ws.v(Sort::Val, "f");
+    let g = ws.v(Sort::GhostName, "γ");
+    let w = ws.v(Sort::Val, "w");
+    let pre = sep([
+        is_flag(&mut ws, Term::var(g), Term::var(f)),
+        Assertion::atom(set(Term::var(g))),
+    ]);
+    let post = eq(Term::var(w), tm::vint(Term::int(1)));
+    let observe = ws.spec("observe", "observe", f, vec![g], pre, w, post);
+
+    let outcome = ws
+        .verify_all(
+            &registry,
+            &[
+                (&make, VerifyOptions::automatic()),
+                (&trip, VerifyOptions::automatic()),
+                (&observe, VerifyOptions::automatic()),
+            ],
+        )
+        .expect("the write-once cell verifies");
+    outcome.check_all().expect("traces replay");
+
+    assert_eq!(outcome.manual_steps, 0);
+    let hints = outcome.hints_used();
+    assert!(hints.contains("sticky-alloc"), "allocation hint fired");
+    assert!(hints.contains("sticky-trip"), "mutation hint fired");
+
+    println!("write-once cell verified with a 40-line user ghost library:");
+    for proof in &outcome.proofs {
+        println!(
+            "  {:<8} {} trace steps, {} symbolic-execution steps",
+            proof.name,
+            proof.trace.len(),
+            proof.trace.symex_steps()
+        );
+    }
+    println!("hints used: {hints:?}");
+
+    // `observe` before any `trip` is unprovable: the spec {is_flag γ f}
+    // observe f {RET v; v = #1} (without set γ) must get stuck, because
+    // the cell may still hold 0.
+    let mut ws2 = Ws::new(PredTable::new(), SOURCE);
+    let f = ws2.v(Sort::Val, "f");
+    let g = ws2.v(Sort::GhostName, "γ");
+    let w = ws2.v(Sort::Val, "w");
+    let pre = is_flag(&mut ws2, Term::var(g), Term::var(f));
+    let post = eq(Term::var(w), tm::vint(Term::int(1)));
+    let bad = ws2.spec("observe_unset", "observe", f, vec![g], pre, w, post);
+    let err = ws2
+        .verify_all(&registry, &[(&bad, VerifyOptions::automatic())])
+        .expect_err("reading 1 without set γ must not verify");
+    println!("\nwithout set γ the read is rightly rejected:\n{err}");
+}

@@ -1,0 +1,31 @@
+//! The HeapLang substrate on its own: parse a concurrent program and run
+//! it under several schedulers.
+//!
+//! ```text
+//! cargo run --example interpreter
+//! ```
+
+use diaframe::heaplang::interp::Machine;
+use diaframe::heaplang::parse_expr;
+
+fn main() {
+    let prog = parse_expr(
+        "let c := ref 0 in
+         fork { FAA(c, 1) ;; () } ;;
+         fork { FAA(c, 2) ;; () } ;;
+         (rec wait u := if !c = 3 then !c else wait u) ()",
+    )
+    .expect("parses");
+
+    let v = Machine::new(prog.clone())
+        .run_round_robin(1_000_000)
+        .expect("runs");
+    println!("round-robin: {v}");
+
+    for seed in 0..5 {
+        let v = Machine::new(prog.clone())
+            .run_random(seed, 1_000_000)
+            .expect("runs");
+        println!("random seed {seed}: {v}");
+    }
+}
