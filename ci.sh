@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The repo's verification gate, in the order a reviewer should run it:
+#
+#   1. release build (the benchmarks below need it anyway)
+#   2. the tier-1 test suite (workspace root package)
+#   3. the full workspace test suite (all crates, incl. the
+#      parallel/serial and indexed/linear equivalence tests)
+#   4. clippy, warnings-as-errors, across every target
+#   5. a full `figure6 --all` report run, writing the machine-readable
+#      timing snapshot to target/BENCH_figure6.json
+#
+# The committed BENCH_figure6.json is a reference snapshot; regenerate it
+# with  cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out BENCH_figure6.json
+# (see EXPERIMENTS.md "Performance" for how to compare runs).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo test --workspace --release -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out target/BENCH_figure6.json
+
+echo "ci: all gates passed"

@@ -1,27 +1,87 @@
 //! Regenerates the paper's Figure 6 (and, with flags, the §6 aggregate
-//! data and failing-verification experiment).
+//! data, the failing-verification experiment and the ablation table).
 //!
 //! ```text
-//! cargo run -p diaframe-bench --bin figure6 [-- --aggregate] [-- --failing] [-- --ablation]
+//! cargo run -p diaframe-bench --bin figure6 -- \
+//!     [--aggregate] [--failing] [--ablation] [--all] \
+//!     [--jobs N] [--json] [--json-out PATH]
 //! ```
+//!
+//! The suite is verified once, in parallel (`--jobs`, default
+//! `DIAFRAME_JOBS` or the core count), into a shared cache; every
+//! requested table is then rendered from that cache without re-running
+//! anything. `--json` prints the machine-readable timing snapshot
+//! (schema `diaframe-bench/figure6/v1`) instead of tables; `--json-out`
+//! writes it to a file alongside the tables — the committed
+//! `BENCH_figure6.json` is produced that way.
+
+use diaframe_bench::{
+    ablation_table, aggregate_table, failing_table, figure6_json, figure6_table,
+    prefetch_ablations, prefetch_suite, SuiteCache,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--failing") {
-        println!("== §6 failing-verification experiment ==");
-        println!("{}", diaframe_bench::failing_table());
-        return;
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or_else(diaframe_core::default_jobs, |n| n.max(1));
+    let json_out = args
+        .iter()
+        .position(|a| a == "--json-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let all = has("--all");
+    let (failing, ablation, aggregate) = (has("--failing"), has("--ablation"), has("--aggregate"));
+    let figure6 = all || !(failing || ablation || aggregate);
+
+    let cache = SuiteCache::new();
+    // One parallel pass fills the cache with everything the requested
+    // tables will read; rendering below re-runs nothing.
+    let mut wall = prefetch_suite(&cache, jobs, all || failing);
+    if all || ablation {
+        wall += prefetch_ablations(&cache, jobs);
     }
-    if args.iter().any(|a| a == "--ablation") {
-        println!("== ablation experiment (search-order design decisions) ==");
-        println!("{}", diaframe_bench::ablation_table());
-        return;
+
+    let json = has("--json");
+    if !json {
+        if figure6 {
+            println!("== Figure 6 reproduction ==");
+            println!("{}", figure6_table(&cache));
+        }
+        if all || aggregate {
+            println!("== §6 aggregated data ==");
+            println!("{}", aggregate_table(&cache));
+        }
+        if all || failing {
+            println!("== §6 failing-verification experiment ==");
+            println!("{}", failing_table(&cache));
+        }
+        if all || ablation {
+            println!("== ablation experiment (search-order design decisions) ==");
+            println!("{}", ablation_table(&cache));
+        }
+        println!(
+            "[suite: {} jobs, {:.2?} wall, cache {} hits / {} misses]",
+            jobs,
+            wall,
+            cache.hits(),
+            cache.misses()
+        );
     }
-    if args.iter().any(|a| a == "--aggregate") {
-        println!("== §6 aggregated data ==");
-        println!("{}", diaframe_bench::aggregate_table());
-        return;
+    if json || json_out.is_some() {
+        let snapshot = figure6_json(&cache, jobs, wall);
+        if let Some(path) = json_out {
+            std::fs::write(&path, &snapshot)
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("[timing snapshot written to {path}]");
+        }
+        if json {
+            print!("{snapshot}");
+        }
     }
-    println!("== Figure 6 reproduction ==");
-    println!("{}", diaframe_bench::figure6_table());
 }

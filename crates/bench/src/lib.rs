@@ -3,14 +3,28 @@
 //! and the §6 failing-verification experiment).
 //!
 //! The `figure6` binary prints the full comparison table; the criterion
-//! benches (`verification`, `failing`, `substrate`) measure wall-clock
-//! verification times.
+//! benches (`verification`, `failing`, `substrate`, `hint_search`)
+//! measure wall-clock verification times.
+//!
+//! Measurement and rendering are split: the [`suite`] driver verifies
+//! every `(example, variant, ablation)` task once — in parallel, on
+//! `diaframe_core`'s work pool — into a [`SuiteCache`], and the table
+//! functions are pure cache readers. Rendered output therefore does not
+//! depend on the worker count, which the equivalence tests check
+//! byte-for-byte.
+
+mod cache;
+mod suite;
+
+pub use cache::{CachedRun, SuiteCache, Variant};
+pub use suite::{ablation_configs, prefetch_ablations, prefetch_suite};
 
 use diaframe_examples::{all_examples, count_lines, Example, ToolStat};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// Measured statistics for one example.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Measured {
     /// Row name.
     pub name: &'static str,
@@ -22,13 +36,17 @@ pub struct Measured {
     pub manual: usize,
     /// Distinct hints used, and how many were custom.
     pub hints: (usize, usize),
-    /// Verification wall-clock time.
+    /// Proof-search wall-clock time.
     pub time: Duration,
+    /// Independent trace-replay wall-clock time.
+    pub check_time: Duration,
     /// Number of verified specifications.
     pub specs: usize,
 }
 
-/// Verifies one example and collects its row.
+/// Verifies one example from scratch (no cache) and collects its row.
+/// The criterion benches use this; reports should go through
+/// [`measure_cached`] so repeated tables share one verification.
 ///
 /// # Panics
 ///
@@ -41,21 +59,59 @@ pub fn measure(ex: &dyn Example) -> Measured {
         .verify()
         .unwrap_or_else(|e| panic!("{} failed to verify:\n{e}", ex.name()));
     let time = start.elapsed();
+    let t1 = Instant::now();
     outcome
         .check_all()
         .unwrap_or_else(|e| panic!("{}: trace replay failed: {e}", ex.name()));
+    let check_time = t1.elapsed();
+    row(ex, outcome.manual_steps, outcome.hints_used().len(), outcome.custom_hints_used().len(), outcome.proofs.len(), time, check_time)
+}
+
+/// Collects one example's row from the shared cache, verifying it only
+/// on the first request.
+///
+/// # Panics
+///
+/// Panics if the example fails to verify or its trace fails replay.
+#[must_use]
+pub fn measure_cached(cache: &SuiteCache, ex: &dyn Example) -> Measured {
+    let run = cache.get_or_run(ex, Variant::Ok);
+    let outcome = run.expect_ok(ex.name());
+    row(ex, outcome.manual_steps, outcome.hints_used().len(), outcome.custom_hints_used().len(), outcome.proofs.len(), run.search_time, run.check_time)
+}
+
+fn row(
+    ex: &dyn Example,
+    manual: usize,
+    hints: usize,
+    custom: usize,
+    specs: usize,
+    time: Duration,
+    check_time: Duration,
+) -> Measured {
     Measured {
         name: ex.name(),
         impl_lines: count_lines(ex.source()),
         annot_lines: count_lines(ex.annotation()),
-        manual: outcome.manual_steps,
-        hints: (
-            outcome.hints_used().len(),
-            outcome.custom_hints_used().len(),
-        ),
+        manual,
+        hints: (hints, custom),
         time,
-        specs: outcome.proofs.len(),
+        check_time,
+        specs,
     }
+}
+
+/// The Figure 6 rows, in the paper's row order, from the shared cache.
+///
+/// # Panics
+///
+/// Panics if any example fails to verify.
+#[must_use]
+pub fn figure6_rows(cache: &SuiteCache) -> Vec<Measured> {
+    all_examples()
+        .iter()
+        .map(|ex| measure_cached(cache, ex.as_ref()))
+        .collect()
 }
 
 fn tool(t: Option<ToolStat>) -> String {
@@ -65,11 +121,17 @@ fn tool(t: Option<ToolStat>) -> String {
     }
 }
 
-/// Renders the Figure 6 reproduction table (measured columns side by side
-/// with the paper-reported ones).
+/// Renders the Figure 6 reproduction table (measured columns side by
+/// side with the paper-reported ones) from already-measured rows. Pure:
+/// equal rows render byte-identically.
+///
+/// # Panics
+///
+/// Panics if `rows` does not line up with the example list.
 #[must_use]
-#[allow(clippy::missing_panics_doc)]
-pub fn figure6_table() -> String {
+pub fn render_figure6(rows: &[Measured]) -> String {
+    let examples = all_examples();
+    assert_eq!(rows.len(), examples.len(), "one row per example");
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -80,8 +142,8 @@ pub fn figure6_table() -> String {
     );
     let _ = writeln!(out, "{}", "-".repeat(150));
     let mut tot = (0usize, 0usize, 0usize, Duration::ZERO);
-    for ex in all_examples() {
-        let m = measure(ex.as_ref());
+    for (m, ex) in rows.iter().zip(&examples) {
+        assert_eq!(m.name, ex.name(), "rows must be in Figure 6 order");
         let p = ex.paper();
         tot.0 += m.impl_lines;
         tot.1 += m.annot_lines;
@@ -119,12 +181,26 @@ pub fn figure6_table() -> String {
     out
 }
 
-/// The §6 failing-verification experiment: for every example with a
-/// sabotaged variant, measure that the failure is detected and how long
-/// detection takes compared with the successful verification.
+/// Renders the Figure 6 reproduction table from the shared cache.
+///
+/// # Panics
+///
+/// Panics if any example fails to verify.
 #[must_use]
-#[allow(clippy::missing_panics_doc)]
-pub fn failing_table() -> String {
+pub fn figure6_table(cache: &SuiteCache) -> String {
+    render_figure6(&figure6_rows(cache))
+}
+
+/// The §6 failing-verification experiment: for every example with a
+/// sabotaged variant, check that the failure is detected and compare how
+/// long detection took with the successful verification. Both timings
+/// come from the cache, so each variant is verified exactly once.
+///
+/// # Panics
+///
+/// Panics if a sabotaged variant is *not* rejected.
+#[must_use]
+pub fn failing_table(cache: &SuiteCache) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -133,16 +209,17 @@ pub fn failing_table() -> String {
     );
     let _ = writeln!(out, "{}", "-".repeat(64));
     for ex in all_examples() {
-        let Some(broken) = ex.verify_broken() else {
+        let broken = cache.get_or_run(ex.as_ref(), Variant::Broken);
+        let Some(broken_outcome) = &broken.outcome else {
             continue;
         };
-        assert!(broken.is_err(), "{}: sabotage not detected", ex.name());
-        let t0 = Instant::now();
-        let _ = ex.verify();
-        let ok_time = t0.elapsed();
-        let t1 = Instant::now();
-        let _ = ex.verify_broken();
-        let fail_time = t1.elapsed();
+        assert!(
+            broken_outcome.is_err(),
+            "{}: sabotage not detected",
+            ex.name()
+        );
+        let ok = cache.get_or_run(ex.as_ref(), Variant::Ok);
+        let (ok_time, fail_time) = (ok.search_time, broken.search_time);
         let _ = writeln!(
             out,
             "{:<24} | {:>10.2?} {:>10.2?} {:>9}",
@@ -159,44 +236,13 @@ pub fn failing_table() -> String {
 }
 
 /// The ablation experiment (beyond the paper): re-runs the whole suite
-/// with one search-order design decision disabled at a time, reporting how
-/// many examples still verify. Quantifies what the decisions documented in
-/// DESIGN.md §5 buy.
+/// with one search-order design decision disabled at a time, reporting
+/// how many examples still verify. Quantifies what the decisions
+/// documented in DESIGN.md §5 buy. The baseline row shares its cache
+/// entries with Figure 6.
 #[must_use]
-pub fn ablation_table() -> String {
-    use diaframe_core::{with_ablation_override, Ablation};
-    let configs: &[(&str, Ablation)] = &[
-        ("baseline", Ablation::none()),
-        (
-            "oldest-first scan",
-            Ablation {
-                oldest_first: true,
-                ..Ablation::none()
-            },
-        ),
-        (
-            "single-pass hints",
-            Ablation {
-                single_pass: true,
-                ..Ablation::none()
-            },
-        ),
-        (
-            "no alloc preference",
-            Ablation {
-                no_alloc_preference: true,
-                ..Ablation::none()
-            },
-        ),
-        (
-            "all ablated",
-            Ablation {
-                oldest_first: true,
-                single_pass: true,
-                no_alloc_preference: true,
-            },
-        ),
-    ];
+pub fn ablation_table(cache: &SuiteCache) -> String {
+    use diaframe_core::with_ablation_override;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -204,24 +250,23 @@ pub fn ablation_table() -> String {
         "config", "verified", "stuck", "automatic", "time"
     );
     let _ = writeln!(out, "{}", "-".repeat(64));
-    for (name, ab) in configs {
+    for (name, ab) in ablation_configs() {
         let (mut ok, mut stuck, mut auto) = (0usize, 0usize, 0usize);
-        let t0 = Instant::now();
+        let mut search = Duration::ZERO;
         let mut failures: Vec<&'static str> = Vec::new();
         for ex in all_examples() {
-            // Ablated searches may hit engine invariants the normal order
-            // upholds; a panic counts as a failure, not a crash.
-            let verdict = with_ablation_override(*ab, || {
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ex.verify()))
-            });
-            match verdict {
-                Ok(Ok(outcome)) => {
+            // A panic under an ablated order is memoized as an error by
+            // the cache (engine invariants the normal order upholds).
+            let run = with_ablation_override(ab, || cache.get_or_run(ex.as_ref(), Variant::Ok));
+            search += run.search_time;
+            match &run.outcome {
+                Some(Ok(outcome)) => {
                     ok += 1;
                     if outcome.manual_steps == 0 {
                         auto += 1;
                     }
                 }
-                Ok(Err(_)) | Err(_) => {
+                Some(Err(_)) | None => {
                     stuck += 1;
                     failures.push(ex.name());
                 }
@@ -234,7 +279,7 @@ pub fn ablation_table() -> String {
             ok,
             stuck,
             auto,
-            t0.elapsed(),
+            search,
             if failures.is_empty() {
                 String::new()
             } else {
@@ -243,32 +288,93 @@ pub fn ablation_table() -> String {
         );
     }
     out.push_str(
-        "\neach row disables one search-order decision from DESIGN.md §5; the\nbaseline row is the normal engine (all 24 verify).\n",
+        "\neach row disables one search-order decision from DESIGN.md §5; the\nbaseline row is the normal engine (all 24 verify); time sums the\nper-example search times (runs execute in parallel).\n",
     );
     out
 }
 
 /// Aggregate claims from §6, re-checked on the reproduction.
+///
+/// # Panics
+///
+/// Panics if any example fails to verify.
 #[must_use]
-#[allow(clippy::missing_panics_doc)]
-pub fn aggregate_table() -> String {
-    let mut automatic = 0usize;
-    let mut total = 0usize;
-    let mut manual = 0usize;
-    let mut impl_lines = 0usize;
-    for ex in all_examples() {
-        let m = measure(ex.as_ref());
-        total += 1;
-        if m.manual == 0 {
-            automatic += 1;
-        }
-        manual += m.manual;
-        impl_lines += m.impl_lines;
-    }
+pub fn aggregate_table(cache: &SuiteCache) -> String {
+    let rows = figure6_rows(cache);
+    let total = rows.len();
+    let automatic = rows.iter().filter(|m| m.manual == 0).count();
+    let manual: usize = rows.iter().map(|m| m.manual).sum();
+    let impl_lines: usize = rows.iter().map(|m| m.impl_lines).sum();
     format!(
         "examples: {total}\nfully automatic: {automatic}  (paper: 7 of 24)\n\
          manual steps per implementation line: {:.3}  (paper: ~0.4 proof lines/impl line; \
          our unit is tactics+hints, not lines)\n",
         manual as f64 / impl_lines as f64
     )
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1000.0)
+}
+
+/// Serializes the Figure 6 run as JSON (schema
+/// `diaframe-bench/figure6/v1`) for committing as a `BENCH_*.json`
+/// snapshot: per-example search/check/total timings plus the run's
+/// worker count, stack size, wall-clock and cache accounting.
+///
+/// # Panics
+///
+/// Panics if any example fails to verify.
+#[must_use]
+pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
+    let rows = figure6_rows(cache);
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/figure6/v1\",");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    let _ = writeln!(
+        out,
+        "  \"stack_mb\": {},",
+        diaframe_core::verify::session_stack_bytes() / (1024 * 1024)
+    );
+    let _ = writeln!(out, "  \"wall_ms\": {},", ms(wall));
+    let _ = writeln!(
+        out,
+        "  \"cache\": {{ \"hits\": {}, \"misses\": {} }},",
+        cache.hits(),
+        cache.misses()
+    );
+    let _ = writeln!(out, "  \"examples\": [");
+    for (i, m) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"name\": \"{}\", \"specs\": {}, \"manual\": {}, \"hints\": {}, \"custom_hints\": {}, \"search_ms\": {}, \"check_ms\": {}, \"total_ms\": {} }}{}",
+            json_escape(m.name),
+            m.specs,
+            m.manual,
+            m.hints.0,
+            m.hints.1,
+            ms(m.time),
+            ms(m.check_time),
+            ms(m.time + m.check_time),
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

@@ -1,6 +1,7 @@
 //! The proof context: `Γ` (pure facts + variables) and `Δ` (spatial and
 //! persistent hypotheses).
 
+use crate::index::HeadSet;
 use crate::symval::SymTable;
 use diaframe_logic::{Assertion, MaskStore, PredTable};
 use diaframe_term::solver::PureSolver;
@@ -15,6 +16,12 @@ pub struct Hyp {
     pub persistent: bool,
     /// A display name (`"H1"`, `"H2"`, …).
     pub name: String,
+    /// Atom-head summary of `assertion`, letting `find_hint` skip
+    /// structurally hopeless probes. Computed once at [`ProofCtx::add_hyp`]
+    /// time: heads are term-independent, and every in-place rewrite the
+    /// strategy performs (substitution, zonking, later-stripping,
+    /// same-head resource merges) preserves them — see `index.rs`.
+    pub heads: HeadSet,
 }
 
 /// The entire mutable proof state of one branch of the search.
@@ -69,10 +76,12 @@ impl ProofCtx {
     /// Adds a hypothesis to `Δ`, returning its index.
     pub fn add_hyp(&mut self, assertion: Assertion, persistent: bool) -> usize {
         self.next_hyp += 1;
+        let heads = HeadSet::of(&assertion);
         self.delta.push(Hyp {
             assertion,
             persistent,
             name: format!("H{}", self.next_hyp),
+            heads,
         });
         self.delta.len() - 1
     }

@@ -95,10 +95,21 @@ pub fn find_hint(
     } else {
         (0..ctx.delta.len()).rev().collect()
     };
+    let indexed = crate::index::hint_index_enabled();
+    let custom_active = !opts.custom_hints.is_empty();
     for &allow_open in passes {
         for &idx in &order {
-            let hyp = ctx.delta[idx].clone();
-            let is_inv = matches!(&hyp.assertion, Assertion::Atom(Atom::Invariant { .. }));
+            // Head-indexed skip: a probe that cannot structurally
+            // succeed is not worth a checkpoint (see `index.rs`; failed
+            // probes roll back completely, so skipping them leaves the
+            // search — and the resulting trace — bit-identical).
+            if indexed && !ctx.delta[idx].heads.may_key(&atom, custom_active) {
+                continue;
+            }
+            let is_inv = matches!(
+                &ctx.delta[idx].assertion,
+                Assertion::Atom(Atom::Invariant { .. })
+            );
             if allow_open == Some(false) && is_inv && !matches!(&atom, Atom::Invariant { .. }) {
                 continue;
             }
@@ -108,11 +119,20 @@ pub fn find_hint(
             let vmark = ctx.vars.checkpoint();
             let mmark = ctx.masks.checkpoint();
             let fmark = ctx.facts.len();
-            if let Some(inner) = hint_from_hyp(ctx, registry, opts, &hyp.assertion, &atom, from) {
+            // Borrow the hypothesis without cloning it: the probe never
+            // reads `ctx.delta`, so an `emp` placeholder is invisible to
+            // it. (Cloning here dominated `find_hint`'s profile — every
+            // probe of every hypothesis deep-copied its assertion.)
+            let persistent = ctx.delta[idx].persistent;
+            let assertion =
+                std::mem::replace(&mut ctx.delta[idx].assertion, Assertion::emp());
+            let probed = hint_from_hyp(ctx, registry, opts, &assertion, &atom, from);
+            ctx.delta[idx].assertion = assertion;
+            if let Some(inner) = probed {
                 return Some(FoundHint {
                     rules: inner.rules,
                     hyp_idx: Some(idx),
-                    consume: !hyp.persistent,
+                    consume: !persistent,
                     side: inner.side,
                     residue: inner.residue,
                     learned: inner.learned,

@@ -25,8 +25,10 @@
 
 pub mod checker;
 pub mod ctx;
+pub mod driver;
 pub mod goal;
 pub mod hint;
+pub mod index;
 pub mod report;
 pub mod spec;
 pub mod strategy;
@@ -36,9 +38,11 @@ pub mod trace;
 pub mod verify;
 
 pub use ctx::{Hyp, ProofCtx};
+pub use driver::{default_jobs, run_ordered, JobPanic};
 pub use goal::Goal;
+pub use index::{hint_index_enabled, set_hint_index_enabled, HeadSet};
 pub use report::Stuck;
 pub use spec::{Spec, SpecTable};
 pub use tactic::{current_ablation, with_ablation_override, Ablation, Tactic, VerifyOptions};
 pub use trace::{ProofTrace, TraceStep};
-pub use verify::{verify, VerifiedProof};
+pub use verify::{verify, with_verification_session, VerifiedProof};

@@ -75,7 +75,7 @@ impl std::fmt::Debug for Tactic {
 /// DESIGN.md §5. Each switch *disables* one decision, so the benchmark
 /// harness can measure what that decision buys. All-false is the normal
 /// engine.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Ablation {
     /// Scan hypotheses oldest-first instead of newest-first.
     pub oldest_first: bool,

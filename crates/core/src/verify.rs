@@ -58,20 +58,78 @@ pub fn verify(
     spec: &Spec,
 ) -> Result<VerifiedProof, Box<Stuck>> {
     // Merge any thread-scoped ablation override (benchmark harness) into
-    // the options *before* spawning: the worker thread has its own
+    // the options *before* any thread hop: a worker thread has its own
     // thread-local state.
     let mut opts = opts.clone();
     opts.ablation = opts.ablation.merged(crate::tactic::current_ablation());
     let opts = &opts;
-    // The strategy recurses once per rule application; deep proofs need a
-    // deep stack, so run the search on a dedicated worker thread.
+    with_verification_session(|| verify_inner(registry, specs, opts, ctx, spec))
+}
+
+std::thread_local! {
+    /// Whether this thread is already a big-stack verification worker.
+    static IN_SESSION: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The verification worker's stack size in bytes: `DIAFRAME_STACK_MB`
+/// megabytes, defaulting to 512.
+#[must_use]
+pub fn session_stack_bytes() -> usize {
+    let mb = std::env::var("DIAFRAME_STACK_MB")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&mb| mb > 0)
+        .unwrap_or(512);
+    mb * 1024 * 1024
+}
+
+/// Marks the current thread as an established verification session, so
+/// nested `verify` calls run inline instead of spawning a fresh worker.
+/// Only for threads that already have a verification-sized stack (the
+/// driver's pool workers).
+pub fn mark_session_thread() {
+    IN_SESSION.with(|c| c.set(true));
+}
+
+/// Runs `f` on a big-stack verification worker thread, or inline when the
+/// current thread already is one.
+///
+/// The engine recurses once per rule application with no explicit
+/// worklist — a single symbolic-execution step can nest `solve` →
+/// `intro_hyps` → `solve` → … hundreds of frames deep, and each frame
+/// holds cloned proof contexts for branching. Default 8 MB thread stacks
+/// overflow on the larger examples, so workers get `DIAFRAME_STACK_MB`
+/// (default 512 MB — address space, not resident memory: only pages
+/// actually touched are ever committed). Callers verifying many specs
+/// should wrap the whole batch in one session: entering an established
+/// session is a thread-local check instead of a thread spawn per
+/// `verify` call.
+///
+/// # Panics
+///
+/// Re-raises any panic from `f` on the calling thread, so `catch_unwind`
+/// around a session behaves exactly like `catch_unwind` around `f`.
+pub fn with_verification_session<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    if IN_SESSION.with(std::cell::Cell::get) {
+        return f();
+    }
+    // Thread-locals don't cross the spawn: re-establish the caller's
+    // ablation override inside the worker.
+    let ablation = crate::tactic::current_ablation();
     std::thread::scope(|scope| {
-        std::thread::Builder::new()
-            .stack_size(512 * 1024 * 1024)
-            .spawn_scoped(scope, || verify_inner(registry, specs, opts, ctx, spec))
+        let outcome = std::thread::Builder::new()
+            .name("diaframe-verify".to_owned())
+            .stack_size(session_stack_bytes())
+            .spawn_scoped(scope, move || {
+                IN_SESSION.with(|c| c.set(true));
+                crate::tactic::with_ablation_override(ablation, f)
+            })
             .expect("spawn verification worker")
-            .join()
-            .expect("verification worker panicked")
+            .join();
+        match outcome {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     })
 }
 

@@ -102,6 +102,17 @@ pub trait Example: Sync + Send {
     /// The Figure 6 row name.
     fn name(&self) -> &'static str;
 
+    /// A stable key identifying this example's verification work for
+    /// result memoization: two calls of [`Example::verify`] (or
+    /// [`Example::verify_broken`]) on examples with equal cache keys
+    /// must produce interchangeable outcomes. The default — the row
+    /// name — is right for every ordinary example; override it only for
+    /// parameterized examples whose verification depends on more than
+    /// the name.
+    fn cache_key(&self) -> String {
+        self.name().to_owned()
+    }
+
     /// The HeapLang source (the `impl` column counts its lines).
     fn source(&self) -> &'static str;
 
@@ -254,20 +265,25 @@ impl Ws {
         registry: &Registry,
         specs_with_opts: &[(&Spec, VerifyOptions)],
     ) -> Result<ExampleOutcome, Box<Stuck>> {
-        let mut proofs = Vec::new();
-        // Manual proof work is the customization *written* (tactics +
-        // custom hints), shared across the example's specs — count the
-        // largest per-spec script, not the per-spec sum.
-        let mut manual = 0;
-        for (spec, opts) in specs_with_opts {
-            manual = manual.max(opts.manual_steps());
-            let proof =
-                diaframe_core::verify(registry, &self.specs, opts, self.ctx.clone(), spec)?;
-            proofs.push(proof);
-        }
-        Ok(ExampleOutcome {
-            proofs,
-            manual_steps: manual,
+        // One big-stack verification session for the whole batch: the
+        // per-spec `verify` calls then run inline instead of each
+        // spawning its own worker thread.
+        diaframe_core::with_verification_session(|| {
+            let mut proofs = Vec::new();
+            // Manual proof work is the customization *written* (tactics +
+            // custom hints), shared across the example's specs — count the
+            // largest per-spec script, not the per-spec sum.
+            let mut manual = 0;
+            for (spec, opts) in specs_with_opts {
+                manual = manual.max(opts.manual_steps());
+                let proof =
+                    diaframe_core::verify(registry, &self.specs, opts, self.ctx.clone(), spec)?;
+                proofs.push(proof);
+            }
+            Ok(ExampleOutcome {
+                proofs,
+                manual_steps: manual,
+            })
         })
     }
 }
