@@ -8,6 +8,10 @@
 #   4. clippy, warnings-as-errors, across every target
 #   5. a full `figure6 --all` report run, writing the machine-readable
 #      timing snapshot to target/BENCH_figure6.json
+#   6. the telemetry smoke gate: the same run with a file sink attached
+#      must produce a v2 snapshot with non-zero counters, the
+#      telemetry-on/off trace-equivalence test must hold, and
+#      `figure6 --explain` must render a structured stuck report
 #
 # The committed BENCH_figure6.json is a reference snapshot; regenerate it
 # with  cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out BENCH_figure6.json
@@ -20,5 +24,22 @@ cargo test -q
 cargo test --workspace --release -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out target/BENCH_figure6.json
+
+# --- telemetry smoke gate (see README "Observability") -------------------
+# The run above is telemetry-off; re-run with the file sink on and check
+# the v2 schema fields are present with non-zero counters.
+rm -f target/telemetry.jsonl
+DIAFRAME_TELEMETRY=target/telemetry.jsonl \
+  cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out target/BENCH_figure6_telemetry.json > /dev/null
+grep -q '"schema": "diaframe-bench/figure6/v2"' target/BENCH_figure6_telemetry.json
+grep -q '"telemetry": { "probes_attempted": [1-9]' target/BENCH_figure6_telemetry.json
+grep -q '"event":"summary"' target/telemetry.jsonl
+grep -q '"event":"span"' target/telemetry.jsonl
+# Telemetry on vs off must be byte-identical in every trace and table
+# (also asserts the counter accounting identities on the live suite).
+cargo test --release -p diaframe-bench --test telemetry -q
+# The stuck-state diagnostics must name the goal head the search missed.
+cargo run --release -p diaframe-bench --bin figure6 -- --explain spin_lock \
+  | grep -q 'unmatched goal head'
 
 echo "ci: all gates passed"

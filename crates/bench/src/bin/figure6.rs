@@ -4,25 +4,72 @@
 //! ```text
 //! cargo run -p diaframe-bench --bin figure6 -- \
 //!     [--aggregate] [--failing] [--ablation] [--all] \
-//!     [--jobs N] [--json] [--json-out PATH]
+//!     [--jobs N] [--json] [--json-out PATH] [--explain EXAMPLE]
 //! ```
 //!
 //! The suite is verified once, in parallel (`--jobs`, default
 //! `DIAFRAME_JOBS` or the core count), into a shared cache; every
 //! requested table is then rendered from that cache without re-running
-//! anything. `--json` prints the machine-readable timing snapshot
-//! (schema `diaframe-bench/figure6/v1`) instead of tables; `--json-out`
-//! writes it to a file alongside the tables — the committed
-//! `BENCH_figure6.json` is produced that way.
+//! anything. `--json` prints the machine-readable timing + telemetry
+//! snapshot (schema `diaframe-bench/figure6/v2`) instead of tables;
+//! `--json-out` writes it to a file alongside the tables — the committed
+//! `BENCH_figure6.json` is produced that way. `--explain EXAMPLE` skips
+//! the suite and instead runs EXAMPLE's sabotaged variant under a
+//! telemetry session, printing the structured stuck report
+//! (`Stuck::render_explain`): the unmatched goal head, the hypotheses
+//! the search kept failing to key on, and the search-effort counters.
 
 use diaframe_bench::{
     ablation_table, aggregate_table, failing_table, figure6_json, figure6_table,
     prefetch_ablations, prefetch_suite, SuiteCache,
 };
+use diaframe_core::TelemetrySession;
+use diaframe_examples::all_examples;
+
+/// Runs `name`'s sabotaged variant under a telemetry session and prints
+/// the structured stuck report. Exits non-zero when the example is
+/// unknown, has no sabotaged variant, or (a harness bug) verifies anyway.
+fn explain(name: &str) -> ! {
+    let examples = all_examples();
+    let Some(ex) = examples.iter().find(|ex| ex.name() == name) else {
+        eprintln!("--explain: no example named {name:?}; known examples:");
+        for ex in &examples {
+            eprintln!("  {}", ex.name());
+        }
+        std::process::exit(2);
+    };
+    let session = TelemetrySession::new(name);
+    let guard = session.install();
+    let verdict = diaframe_core::with_verification_session(|| ex.verify_broken());
+    drop(guard);
+    session.flush();
+    match verdict {
+        None => {
+            eprintln!("--explain: {name} has no sabotaged variant");
+            std::process::exit(2);
+        }
+        Some(Ok(_)) => {
+            eprintln!("--explain: {name}'s sabotaged variant unexpectedly verified");
+            std::process::exit(1);
+        }
+        Some(Err(stuck)) => {
+            println!("== {name}: why the sabotaged variant gets stuck ==");
+            print!("{}", stuck.render_explain());
+            std::process::exit(0);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let has = |flag: &str| args.iter().any(|a| a == flag);
+    if let Some(name) = args
+        .iter()
+        .position(|a| a == "--explain")
+        .and_then(|i| args.get(i + 1))
+    {
+        explain(name);
+    }
     let jobs = args
         .iter()
         .position(|a| a == "--jobs")

@@ -16,7 +16,7 @@
 //! per-key `OnceLock` guarantees exactly-once execution even when
 //! parallel workers race on the same key.
 
-use diaframe_core::{current_ablation, Ablation};
+use diaframe_core::{current_ablation, Ablation, CounterSnapshot, TelemetrySession};
 use diaframe_examples::{Example, ExampleOutcome};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -46,6 +46,12 @@ pub struct CachedRun {
     /// Wall-clock of the independent trace replay (zero when nothing
     /// verified).
     pub check_time: Duration,
+    /// Search-effort counters for this run (probes, rule applications,
+    /// backtracks, checker steps — see
+    /// [`CounterSnapshot::check_invariants`]). Collected by a per-run
+    /// [`TelemetrySession`], so runs are counted in isolation even when
+    /// the pool interleaves them.
+    pub counters: CounterSnapshot,
 }
 
 impl CachedRun {
@@ -136,6 +142,16 @@ impl SuiteCache {
 /// replay separately. Panics (ablated searches can trip engine
 /// invariants) are contained and rendered as errors.
 fn run_once(ex: &dyn Example, variant: Variant) -> CachedRun {
+    // A per-run session isolates this run's counters from whatever
+    // session the pool worker carries (nested installs shadow the outer
+    // one and restore it on drop). Counters are a pure side channel, so
+    // the verification itself — and its trace — is unaffected.
+    let label = match variant {
+        Variant::Ok => ex.name().to_owned(),
+        Variant::Broken => format!("{}!broken", ex.name()),
+    };
+    let session = TelemetrySession::new(&label);
+    let guard = session.install();
     let t0 = Instant::now();
     let verdict = catch_unwind(AssertUnwindSafe(|| match variant {
         Variant::Ok => Some(ex.verify()),
@@ -157,10 +173,13 @@ fn run_once(ex: &dyn Example, variant: Variant) -> CachedRun {
             }
         }
     };
+    drop(guard);
+    session.flush();
     CachedRun {
         outcome,
         search_time,
         check_time,
+        counters: session.snapshot(),
     }
 }
 

@@ -17,8 +17,9 @@ mod cache;
 mod suite;
 
 pub use cache::{CachedRun, SuiteCache, Variant};
-pub use suite::{ablation_configs, prefetch_ablations, prefetch_suite};
+pub use suite::{ablation_configs, assert_counter_invariants, prefetch_ablations, prefetch_suite};
 
+use diaframe_core::{CounterSnapshot, TelemetrySession};
 use diaframe_examples::{all_examples, count_lines, Example, ToolStat};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -42,6 +43,10 @@ pub struct Measured {
     pub check_time: Duration,
     /// Number of verified specifications.
     pub specs: usize,
+    /// Search-effort counters for the run (see
+    /// [`CounterSnapshot::check_invariants`] for the invariants they
+    /// obey).
+    pub counters: CounterSnapshot,
 }
 
 /// Verifies one example from scratch (no cache) and collects its row.
@@ -54,6 +59,8 @@ pub struct Measured {
 /// be green).
 #[must_use]
 pub fn measure(ex: &dyn Example) -> Measured {
+    let session = TelemetrySession::new(ex.name());
+    let _guard = session.install();
     let start = Instant::now();
     let outcome = ex
         .verify()
@@ -64,7 +71,7 @@ pub fn measure(ex: &dyn Example) -> Measured {
         .check_all()
         .unwrap_or_else(|e| panic!("{}: trace replay failed: {e}", ex.name()));
     let check_time = t1.elapsed();
-    row(ex, outcome.manual_steps, outcome.hints_used().len(), outcome.custom_hints_used().len(), outcome.proofs.len(), time, check_time)
+    row(ex, outcome.manual_steps, outcome.hints_used().len(), outcome.custom_hints_used().len(), outcome.proofs.len(), time, check_time, session.snapshot())
 }
 
 /// Collects one example's row from the shared cache, verifying it only
@@ -77,9 +84,10 @@ pub fn measure(ex: &dyn Example) -> Measured {
 pub fn measure_cached(cache: &SuiteCache, ex: &dyn Example) -> Measured {
     let run = cache.get_or_run(ex, Variant::Ok);
     let outcome = run.expect_ok(ex.name());
-    row(ex, outcome.manual_steps, outcome.hints_used().len(), outcome.custom_hints_used().len(), outcome.proofs.len(), run.search_time, run.check_time)
+    row(ex, outcome.manual_steps, outcome.hints_used().len(), outcome.custom_hints_used().len(), outcome.proofs.len(), run.search_time, run.check_time, run.counters.clone())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn row(
     ex: &dyn Example,
     manual: usize,
@@ -88,6 +96,7 @@ fn row(
     specs: usize,
     time: Duration,
     check_time: Duration,
+    counters: CounterSnapshot,
 ) -> Measured {
     Measured {
         name: ex.name(),
@@ -98,6 +107,7 @@ fn row(
         time,
         check_time,
         specs,
+        counters,
     }
 }
 
@@ -334,18 +344,31 @@ fn ms(d: Duration) -> String {
 }
 
 /// Serializes the Figure 6 run as JSON (schema
-/// `diaframe-bench/figure6/v1`) for committing as a `BENCH_*.json`
-/// snapshot: per-example search/check/total timings plus the run's
-/// worker count, stack size, wall-clock and cache accounting.
+/// `diaframe-bench/figure6/v2`) for committing as a `BENCH_*.json`
+/// snapshot: per-example search/check/total timings and search-effort
+/// counters, the run's worker count, stack size, wall-clock, cache
+/// accounting, and the suite-wide counter aggregate.
+///
+/// v2 extends v1 with the `telemetry` blocks (one per example, one
+/// aggregated); every v1 field is unchanged, so v1 consumers that
+/// ignore unknown keys keep working.
 ///
 /// # Panics
 ///
-/// Panics if any example fails to verify.
+/// Panics if any example fails to verify or its counters violate the
+/// [`CounterSnapshot::check_invariants`] accounting identities.
 #[must_use]
 pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
     let rows = figure6_rows(cache);
+    let mut aggregate = CounterSnapshot::default();
+    for m in &rows {
+        m.counters
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("{}: counter invariant violated: {e}", m.name));
+        aggregate.merge(&m.counters);
+    }
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/figure6/v1\",");
+    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/figure6/v2\",");
     let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(
         out,
@@ -359,11 +382,12 @@ pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
         cache.hits(),
         cache.misses()
     );
+    let _ = writeln!(out, "  \"telemetry\": {},", aggregate.json_object());
     let _ = writeln!(out, "  \"examples\": [");
     for (i, m) in rows.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{ \"name\": \"{}\", \"specs\": {}, \"manual\": {}, \"hints\": {}, \"custom_hints\": {}, \"search_ms\": {}, \"check_ms\": {}, \"total_ms\": {} }}{}",
+            "    {{ \"name\": \"{}\", \"specs\": {}, \"manual\": {}, \"hints\": {}, \"custom_hints\": {}, \"search_ms\": {}, \"check_ms\": {}, \"total_ms\": {},\n      \"telemetry\": {} }}{}",
             json_escape(m.name),
             m.specs,
             m.manual,
@@ -372,6 +396,7 @@ pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
             ms(m.time),
             ms(m.check_time),
             ms(m.time + m.check_time),
+            m.counters.json_object(),
             if i + 1 == rows.len() { "" } else { "," }
         );
     }

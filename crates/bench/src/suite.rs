@@ -78,7 +78,28 @@ pub fn prefetch_suite(cache: &SuiteCache, jobs: usize, include_broken: bool) -> 
     for r in results {
         r.expect("suite driver job panicked");
     }
+    assert_counter_invariants(cache);
     wall
+}
+
+/// The counter-drift guard: every cached run's counters must satisfy the
+/// accounting identities of
+/// [`diaframe_core::CounterSnapshot::check_invariants`] — in particular
+/// `probes_attempted == probes_skipped + probes_indexed_hit`, so an
+/// instrumentation hook going missing (or double-firing) at one of the
+/// `find_hint` call sites fails the suite loudly instead of silently
+/// skewing the telemetry.
+///
+/// # Panics
+///
+/// Panics naming the offending `(example, variant)` entry and the
+/// violated identity.
+pub fn assert_counter_invariants(cache: &SuiteCache) {
+    for ((name, _, variant), run) in cache.snapshot() {
+        run.counters.check_invariants().unwrap_or_else(|e| {
+            panic!("{name} ({variant:?}): counter invariant violated: {e}")
+        });
+    }
 }
 
 /// Verifies the whole suite under every [`ablation_configs`] entry into
@@ -103,5 +124,6 @@ pub fn prefetch_ablations(cache: &SuiteCache, jobs: usize) -> Duration {
     for r in results {
         r.expect("ablation driver job panicked");
     }
+    assert_counter_invariants(cache);
     wall
 }

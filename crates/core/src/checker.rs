@@ -47,6 +47,8 @@ impl std::error::Error for CheckError {}
 ///
 /// Returns the first [`CheckError`] encountered.
 pub fn check(trace: &ProofTrace) -> Result<(), CheckError> {
+    let _span = crate::telemetry::span("check");
+    crate::telemetry::checker_steps(trace.len() as u64);
     let mut open_stack: Vec<BTreeSet<Namespace>> = vec![BTreeSet::new()];
     let mut branch_depth: Vec<usize> = Vec::new();
     for (i, step) in trace.steps().iter().enumerate() {
@@ -120,6 +122,23 @@ pub fn check(trace: &ProofTrace) -> Result<(), CheckError> {
         });
     }
     Ok(())
+}
+
+/// Decodes a JSON-lines trace (see [`crate::trace_json`]) and replays
+/// it. This is the exported-trace entry point: a trace serialized by a
+/// telemetry sink or an external tool round-trips through one codec and
+/// lands in the same replay as in-memory traces.
+///
+/// # Errors
+///
+/// Returns a [`CheckError`] at step `usize::MAX` when the JSON is
+/// malformed, or the first replay failure otherwise.
+pub fn check_json(json: &str) -> Result<(), CheckError> {
+    let trace = crate::trace_json::trace_from_json(json).map_err(|e| CheckError {
+        step: usize::MAX,
+        message: format!("trace does not decode: {e}"),
+    })?;
+    check(&trace)
 }
 
 #[cfg(test)]

@@ -59,10 +59,16 @@ where
     let slots: Vec<Mutex<Option<Result<T, JobPanic>>>> =
         items.iter().map(|_| Mutex::new(None)).collect();
     let ablation = crate::tactic::current_ablation();
+    // The telemetry session (like the ablation override) is thread-local
+    // state that must be re-installed in every worker; the counters
+    // behind it are atomics shared through an `Arc`, so all workers feed
+    // one session and the merge at join is free.
+    let telemetry = crate::telemetry::current();
     std::thread::scope(|scope| {
         let mut workers = Vec::with_capacity(jobs);
         for w in 0..jobs {
             let (cursor, slots, f) = (&cursor, &slots, &f);
+            let telemetry = telemetry.clone();
             let worker = std::thread::Builder::new()
                 .name(format!("diaframe-worker-{w}"))
                 // Workers double as verification sessions — see the
@@ -70,6 +76,7 @@ where
                 .stack_size(crate::verify::session_stack_bytes())
                 .spawn_scoped(scope, move || {
                     crate::verify::mark_session_thread();
+                    let _telemetry_guard = telemetry.as_ref().map(|s| s.install());
                     crate::tactic::with_ablation_override(ablation, || loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
@@ -159,6 +166,26 @@ mod tests {
         for s in seen {
             assert_eq!(s.unwrap(), ab);
         }
+    }
+
+    #[test]
+    fn telemetry_session_reaches_workers() {
+        let session = crate::telemetry::TelemetrySession::new("pool");
+        let _guard = session.install();
+        let labels = run_ordered(&[(), (), ()], 2, |_, ()| {
+            // Workers count into the *caller's* session…
+            crate::telemetry::probe_attempted();
+            crate::telemetry::probe_run();
+            crate::telemetry::current().map(|s| s.label().to_owned())
+        });
+        for l in labels {
+            assert_eq!(l.unwrap().as_deref(), Some("pool"));
+        }
+        // …so the aggregate is visible at the join, no merge step needed.
+        let snap = session.snapshot();
+        assert_eq!(snap.probes_attempted, 3);
+        assert_eq!(snap.probes_indexed_hit, 3);
+        snap.check_invariants().unwrap();
     }
 
     #[test]

@@ -64,6 +64,28 @@ pub fn find_hint(
     atom: &Atom,
     from: &Mask,
 ) -> Option<FoundHint> {
+    let _span = crate::telemetry::span("find_hint");
+    let solves_before = ctx.vars.solve_events();
+    let found = find_hint_inner(ctx, registry, opts, atom, from);
+    // Virtually all unification happens inside hint search, so the delta
+    // here is the per-search evar-instantiation effort (speculative
+    // solves included: `solve_events` survives rollback by design).
+    crate::telemetry::evar_solves(ctx.vars.solve_events() - solves_before);
+    if found.is_none() {
+        crate::telemetry::hint_missed(|| {
+            crate::index::goal_head(&atom.zonk(&ctx.vars), &ctx.preds)
+        });
+    }
+    found
+}
+
+fn find_hint_inner(
+    ctx: &mut ProofCtx,
+    registry: &Registry,
+    opts: &VerifyOptions,
+    atom: &Atom,
+    from: &Mask,
+) -> Option<FoundHint> {
     let atom = atom.zonk(&ctx.vars);
     let ablation = opts.ablation;
     // A ghost goal whose name is still an undetermined evar is a *fresh*
@@ -99,13 +121,6 @@ pub fn find_hint(
     let custom_active = !opts.custom_hints.is_empty();
     for &allow_open in passes {
         for &idx in &order {
-            // Head-indexed skip: a probe that cannot structurally
-            // succeed is not worth a checkpoint (see `index.rs`; failed
-            // probes roll back completely, so skipping them leaves the
-            // search — and the resulting trace — bit-identical).
-            if indexed && !ctx.delta[idx].heads.may_key(&atom, custom_active) {
-                continue;
-            }
             let is_inv = matches!(
                 &ctx.delta[idx].assertion,
                 Assertion::Atom(Atom::Invariant { .. })
@@ -116,6 +131,20 @@ pub fn find_hint(
             if allow_open == Some(true) && !is_inv {
                 continue;
             }
+            // Only (hyp, pass) pairs that pass the pass filter count as
+            // probes: the filters above route each hypothesis to exactly
+            // one pass, so counting earlier would double-count every
+            // hypothesis under the two-pass scan.
+            crate::telemetry::probe_attempted();
+            // Head-indexed skip: a probe that cannot structurally
+            // succeed is not worth a checkpoint (see `index.rs`; failed
+            // probes roll back completely, so skipping them leaves the
+            // search — and the resulting trace — bit-identical).
+            if indexed && !ctx.delta[idx].heads.may_key(&atom, custom_active) {
+                crate::telemetry::probe_skipped();
+                continue;
+            }
+            crate::telemetry::probe_run();
             let vmark = ctx.vars.checkpoint();
             let mmark = ctx.masks.checkpoint();
             let fmark = ctx.facts.len();
@@ -129,6 +158,7 @@ pub fn find_hint(
             let probed = hint_from_hyp(ctx, registry, opts, &assertion, &atom, from);
             ctx.delta[idx].assertion = assertion;
             if let Some(inner) = probed {
+                crate::telemetry::probe_matched();
                 return Some(FoundHint {
                     rules: inner.rules,
                     hyp_idx: Some(idx),
@@ -142,6 +172,7 @@ pub fn find_hint(
                     closed: inner.closed,
                 });
             }
+            crate::telemetry::probe_failed(&ctx.delta[idx].name);
             ctx.vars.rollback(&vmark);
             ctx.masks.rollback(&mmark);
             ctx.facts.truncate(fmark);

@@ -43,8 +43,24 @@
 //! with the index on or off. `set_hint_index_enabled(false)` forces the
 //! plain linear scan, which the equivalence tests use.
 
-use diaframe_logic::{Assertion, Atom, Namespace, PredId};
+use diaframe_logic::{Assertion, Atom, Namespace, PredId, PredTable};
 use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A human-readable name for a goal atom's *head* — the same structural
+/// key [`HeadSet::may_key`] dispatches on. Telemetry uses this to label
+/// failed-probe counters and the "unmatched goal head" line of a stuck
+/// report, so the taxonomy here must stay in sync with `may_key`.
+#[must_use]
+pub fn goal_head(atom: &Atom, preds: &PredTable) -> String {
+    match atom {
+        Atom::PointsTo { .. } => "↦ (points-to)".to_string(),
+        Atom::Ghost(g) => format!("ghost {}", g.kind),
+        Atom::PredApp { pred, .. } => format!("pred {}", preds.info(*pred).name),
+        Atom::Invariant { ns, .. } => format!("inv {ns}"),
+        Atom::CloseInv { ns } => format!("close-inv {ns}"),
+        Atom::Wp { .. } => "wp".to_string(),
+    }
+}
 
 static HINT_INDEX_ENABLED: AtomicBool = AtomicBool::new(true);
 

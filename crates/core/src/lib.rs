@@ -21,7 +21,11 @@
 //! * when no rule applies the engine stops with a [`report::Stuck`]
 //!   rendering the proof state in the Iris-Proof-Mode style of §2.2, and
 //!   the user may resume with tactics ([`tactic`]): manual case splits,
-//!   custom hints, or opt-in disjunction backtracking.
+//!   custom hints, or opt-in disjunction backtracking;
+//! * an opt-in [`telemetry`] layer counts hint probes, rule applications,
+//!   backtracks and checker replays, times the search phases, and feeds
+//!   the structured stuck diagnostics of
+//!   [`report::Stuck::render_explain`] — at zero cost when disabled.
 
 pub mod checker;
 pub mod ctx;
@@ -34,7 +38,9 @@ pub mod spec;
 pub mod strategy;
 pub mod symval;
 pub mod tactic;
+pub mod telemetry;
 pub mod trace;
+pub mod trace_json;
 pub mod verify;
 
 pub use ctx::{Hyp, ProofCtx};
@@ -44,5 +50,6 @@ pub use index::{hint_index_enabled, set_hint_index_enabled, HeadSet};
 pub use report::Stuck;
 pub use spec::{Spec, SpecTable};
 pub use tactic::{current_ablation, with_ablation_override, Ablation, Tactic, VerifyOptions};
-pub use trace::{ProofTrace, TraceStep};
+pub use telemetry::{CounterSnapshot, DiagSnapshot, TelemetrySession};
+pub use trace::{ProofTrace, TraceKind, TraceStep};
 pub use verify::{verify, with_verification_session, VerifiedProof};

@@ -65,7 +65,19 @@ impl<'a> Engine<'a> {
             reason: reason.into(),
             ctx: ctx.clone(),
             goal: describe_goal(goal),
+            unmatched_head: None,
+            diag: crate::telemetry::stuck_diag(),
         })
+    }
+
+    /// Records a trace step, mirroring it into the telemetry counters.
+    /// Every rule application must go through here (never `trace.push`
+    /// directly) so the per-kind counters stay exact; trace *restores*
+    /// on disjunction backtracking bypass it by design — counters
+    /// measure search effort, not final trace length.
+    fn push_step(&mut self, step: TraceStep) {
+        crate::telemetry::count_step(&step);
+        self.trace.push(step);
     }
 
     /// Consume the next *applicable* case-split tactic at a stuck point:
@@ -142,7 +154,7 @@ impl<'a> Engine<'a> {
                 let sort = ctx.vars.var_sort(b.var);
                 let name = ctx.vars.var_name(b.var).to_owned();
                 let v = ctx.vars.fresh_var(sort, &name);
-                self.trace.push(TraceStep::IntroVar { name });
+                self.push_step(TraceStep::IntroVar { name });
                 let g = g.subst(&Subst::single(b.var, Term::var(v)));
                 self.solve(ctx, g)
             }
@@ -208,7 +220,7 @@ impl<'a> Engine<'a> {
         for p in pending {
             let p = p.zonk(&ctx.vars);
             if ctx.prove_pure(&p) {
-                self.trace.push(TraceStep::PureObligation {
+                self.push_step(TraceStep::PureObligation {
                     facts: ctx.facts.clone(),
                     goal: p,
                     vars: ctx.vars.clone(),
@@ -247,7 +259,7 @@ impl<'a> Engine<'a> {
                     &g,
                 ));
             }
-            self.trace.push(TraceStep::PureObligation {
+            self.push_step(TraceStep::PureObligation {
                 facts: ctx.facts.clone(),
                 goal: p,
                 vars: ctx.vars.clone(),
@@ -273,9 +285,9 @@ impl<'a> Engine<'a> {
                         pending.extend(parts.into_iter().map(Assertion::pure));
                         continue;
                     }
-                    self.trace.push(TraceStep::Fact { prop: p.clone() });
+                    self.push_step(TraceStep::Fact { prop: p.clone() });
                     if p == PureProp::False {
-                        self.trace.push(TraceStep::Contradiction {
+                        self.push_step(TraceStep::Contradiction {
                             rule: "false-hypothesis".into(),
                         });
                         return Ok(ctx);
@@ -291,7 +303,7 @@ impl<'a> Engine<'a> {
                         // The substitution may have made Γ contradictory
                         // (e.g. `z := 0` under the fact `0 < z`).
                         if ctx.inconsistent() {
-                            self.trace.push(TraceStep::Contradiction {
+                            self.push_step(TraceStep::Contradiction {
                                 rule: "pure-inconsistency".into(),
                             });
                             return Ok(ctx);
@@ -300,7 +312,7 @@ impl<'a> Engine<'a> {
                     }
                     ctx.add_fact(p);
                     if ctx.inconsistent() {
-                        self.trace.push(TraceStep::Contradiction {
+                        self.push_step(TraceStep::Contradiction {
                             rule: "pure-inconsistency".into(),
                         });
                         return Ok(ctx);
@@ -315,11 +327,11 @@ impl<'a> Engine<'a> {
                     let sort = ctx.vars.var_sort(b.var);
                     let name = ctx.vars.var_name(b.var).to_owned();
                     let v = ctx.vars.fresh_var(sort, &name);
-                    self.trace.push(TraceStep::IntroVar { name });
+                    self.push_step(TraceStep::IntroVar { name });
                     pending.push(body.subst(&Subst::single(b.var, Term::var(v))));
                 }
                 Assertion::Or(l, r) => {
-                    self.trace.push(TraceStep::CaseSplit {
+                    self.push_step(TraceStep::CaseSplit {
                         on: "hypothesis disjunction".into(),
                         branches: 2,
                     });
@@ -327,13 +339,13 @@ impl<'a> Engine<'a> {
                     let mut pending2 = pending.clone();
                     let cont2 = cont.clone();
                     pending.push(*l);
-                    self.trace.push(TraceStep::BranchStart { index: 0 });
+                    self.push_step(TraceStep::BranchStart { index: 0 });
                     self.intro_hyps(ctx, pending, cont)?;
-                    self.trace.push(TraceStep::BranchEnd { index: 0 });
+                    self.push_step(TraceStep::BranchEnd { index: 0 });
                     pending2.push(*r);
-                    self.trace.push(TraceStep::BranchStart { index: 1 });
+                    self.push_step(TraceStep::BranchStart { index: 1 });
                     let out = self.intro_hyps(ctx2, pending2, cont2)?;
-                    self.trace.push(TraceStep::BranchEnd { index: 1 });
+                    self.push_step(TraceStep::BranchEnd { index: 1 });
                     // Both branches completed the remaining proof.
                     return Ok(out);
                 }
@@ -343,7 +355,7 @@ impl<'a> Engine<'a> {
                         Assertion::Later(core) => {
                             // Not timeless: keep the later as a hypothesis.
                             let a = Assertion::Later(core);
-                            self.trace.push(TraceStep::IntroHyp {
+                            self.push_step(TraceStep::IntroHyp {
                                 hyp: format!("{a:?}"),
                             });
                             ctx.add_hyp(a, false);
@@ -360,7 +372,7 @@ impl<'a> Engine<'a> {
                 | Assertion::Forall(..)
                 | Assertion::BUpd(_)
                 | Assertion::FUpd(..)) => {
-                    self.trace.push(TraceStep::IntroHyp {
+                    self.push_step(TraceStep::IntroHyp {
                         hyp: "wand/quantified hypothesis".into(),
                     });
                     ctx.add_hyp(other, false);
@@ -401,13 +413,13 @@ impl<'a> Engine<'a> {
                         }
                         match lib.merge(&mut ctx.vars, h, g) {
                             Some(MergeOutcome::Contradiction { rule }) => {
-                                self.trace.push(TraceStep::Contradiction {
+                                self.push_step(TraceStep::Contradiction {
                                     rule: rule.to_owned(),
                                 });
                                 return Some(Ok(()));
                             }
                             Some(MergeOutcome::Merged { rule, atom, facts }) => {
-                                self.trace.push(TraceStep::IntroHyp {
+                                self.push_step(TraceStep::IntroHyp {
                                     hyp: format!("merged by {rule}"),
                                 });
                                 ctx.delta[i].assertion = Assertion::Atom(Atom::Ghost(atom));
@@ -432,13 +444,13 @@ impl<'a> Engine<'a> {
                             ctx.add_hyp(a, true);
                         }
                     }
-                    self.trace.push(TraceStep::IntroHyp {
+                    self.push_step(TraceStep::IntroHyp {
                         hyp: g.kind.name.to_owned(),
                     });
                     ctx.add_hyp(Assertion::Atom(atom), persistent);
                     return None;
                 }
-                self.trace.push(TraceStep::IntroHyp {
+                self.push_step(TraceStep::IntroHyp {
                     hyp: g.kind.name.to_owned(),
                 });
                 ctx.add_hyp(Assertion::Atom(atom), false);
@@ -466,13 +478,13 @@ impl<'a> Engine<'a> {
                         frac: sum,
                         val: v2.clone(),
                     };
-                    self.trace.push(TraceStep::IntroHyp {
+                    self.push_step(TraceStep::IntroHyp {
                         hyp: "points-to merged".into(),
                     });
                     ctx.delta[i].assertion = Assertion::Atom(merged);
                     return None;
                 }
-                self.trace.push(TraceStep::IntroHyp { hyp: "↦".into() });
+                self.push_step(TraceStep::IntroHyp { hyp: "↦".into() });
                 ctx.add_hyp(Assertion::Atom(atom), false);
                 None
             }
@@ -491,7 +503,7 @@ impl<'a> Engine<'a> {
                         pred: *pred,
                         args: vec![sum],
                     };
-                    self.trace.push(TraceStep::IntroHyp {
+                    self.push_step(TraceStep::IntroHyp {
                         hyp: "fractional predicate merged".into(),
                     });
                     ctx.delta[i].assertion = Assertion::Atom(merged);
@@ -507,13 +519,13 @@ impl<'a> Engine<'a> {
                     .iter()
                     .any(|h| h.assertion == Assertion::Atom(atom.clone()));
                 if !dup {
-                    self.trace.push(TraceStep::IntroHyp { hyp: "inv".into() });
+                    self.push_step(TraceStep::IntroHyp { hyp: "inv".into() });
                     ctx.add_hyp(Assertion::Atom(atom), true);
                 }
                 None
             }
             _ => {
-                self.trace.push(TraceStep::IntroHyp {
+                self.push_step(TraceStep::IntroHyp {
                     hyp: "atom".into(),
                 });
                 ctx.add_hyp(Assertion::Atom(atom), false);
@@ -653,7 +665,7 @@ impl<'a> Engine<'a> {
                         &goal,
                     ));
                 }
-                self.trace.push(TraceStep::PureObligation {
+                self.push_step(TraceStep::PureObligation {
                     facts: ctx.facts.clone(),
                     goal: p,
                     vars: ctx.vars.clone(),
@@ -793,12 +805,12 @@ impl<'a> Engine<'a> {
         match find_hint(&mut ctx, self.registry, self.opts, &atom, &from) {
             Some(found) => {
                 if let Some(ns) = &found.opened {
-                    self.trace.push(TraceStep::InvOpened { ns: ns.clone() });
+                    self.push_step(TraceStep::InvOpened { ns: ns.clone() });
                 }
                 if let Some(ns) = &found.closed {
-                    self.trace.push(TraceStep::InvClosed { ns: ns.clone() });
+                    self.push_step(TraceStep::InvClosed { ns: ns.clone() });
                 }
-                self.trace.push(TraceStep::HintApplied {
+                self.push_step(TraceStep::HintApplied {
                     rules: found.rules.clone(),
                     hyp: found.hyp_idx.map(|i| ctx.delta[i].name.clone()),
                     custom: found.custom,
@@ -875,8 +887,8 @@ impl<'a> Engine<'a> {
                 // Tactic fallback: unfolding a recursive predicate, or a
                 // manual case split.
                 if let Some((name, idx, replacement)) = self.try_unfold_tactic(&mut ctx) {
-                    self.trace.push(TraceStep::TacticUsed { name: name.clone() });
-                    self.trace.push(TraceStep::HintApplied {
+                    self.push_step(TraceStep::TacticUsed { name: name.clone() });
+                    self.push_step(TraceStep::HintApplied {
                         rules: vec![name],
                         hyp: Some(ctx.delta[idx].name.clone()),
                         custom: true,
@@ -901,14 +913,18 @@ impl<'a> Engine<'a> {
                     };
                     return self.case_split_tactic(ctx, name, prop, goal);
                 }
+                let atom = atom.zonk(&ctx.vars);
+                let head = crate::index::goal_head(&atom, &ctx.preds);
                 let goal = Goal::SynFupd {
                     from: MaskT::Concrete(from),
                     to,
                     exists: Vec::new(),
-                    lhs: Assertion::Atom(atom.zonk(&ctx.vars)),
+                    lhs: Assertion::Atom(atom),
                     cont: Box::new(cont),
                 };
-                Err(self.stuck(&ctx, "no bi-abduction hint applies", &goal))
+                let mut stuck = self.stuck(&ctx, "no bi-abduction hint applies", &goal);
+                stuck.unmatched_head = Some(head);
+                Err(stuck)
             }
         }
     }
@@ -934,7 +950,7 @@ impl<'a> Engine<'a> {
                 Some(g) => {
                     let neg = g.negated();
                     if ctx.prove_pure_frozen(&neg) {
-                        this.trace.push(TraceStep::PureObligation {
+                        this.push_step(TraceStep::PureObligation {
                             facts: ctx.facts.clone(),
                             goal: neg,
                             vars: ctx.vars.clone(),
@@ -948,14 +964,14 @@ impl<'a> Engine<'a> {
             }
         }
         if refuted(self, &mut ctx, &l) {
-            self.trace.push(TraceStep::DisjunctChosen {
+            self.push_step(TraceStep::DisjunctChosen {
                 side: "right",
                 reason: "left guard refuted",
             });
             return self.syn_fupd_inner(ctx, from, to, exists, r, cont);
         }
         if refuted(self, &mut ctx, &r) {
-            self.trace.push(TraceStep::DisjunctChosen {
+            self.push_step(TraceStep::DisjunctChosen {
                 side: "left",
                 reason: "right guard refuted",
             });
@@ -970,7 +986,7 @@ impl<'a> Engine<'a> {
                     unreachable!("filtered by try_choose_tactic")
                 }
             };
-            self.trace.push(TraceStep::TacticUsed {
+            self.push_step(TraceStep::TacticUsed {
                 name: format!("choose {side}"),
             });
             return self.syn_fupd_inner(ctx, from, to, exists, a, cont);
@@ -1000,16 +1016,17 @@ impl<'a> Engine<'a> {
                 cont.clone(),
             ) {
                 Ok(out) => {
-                    self.trace.push(TraceStep::DisjunctChosen {
+                    self.push_step(TraceStep::DisjunctChosen {
                         side: "left",
                         reason: "backtracking",
                     });
                     return Ok(out);
                 }
                 Err(_) => {
+                    crate::telemetry::backtracked((self.trace.len() - saved_trace.len()) as u64);
                     self.trace = saved_trace;
                     self.fuel = saved_fuel.saturating_sub(1);
-                    self.trace.push(TraceStep::DisjunctChosen {
+                    self.push_step(TraceStep::DisjunctChosen {
                         side: "right",
                         reason: "backtracking",
                     });
@@ -1036,19 +1053,19 @@ impl<'a> Engine<'a> {
         prop: PureProp,
         goal: Goal,
     ) -> Solved {
-        self.trace.push(TraceStep::TacticUsed { name: name.clone() });
-        self.trace.push(TraceStep::CaseSplit {
+        self.push_step(TraceStep::TacticUsed { name: name.clone() });
+        self.push_step(TraceStep::CaseSplit {
             on: name,
             branches: 2,
         });
         let ctx2 = ctx.clone();
         let goal2 = goal.clone();
-        self.trace.push(TraceStep::BranchStart { index: 0 });
+        self.push_step(TraceStep::BranchStart { index: 0 });
         self.intro_hyps(ctx, vec![Assertion::pure(prop.clone())], goal.clone())?;
-        self.trace.push(TraceStep::BranchEnd { index: 0 });
-        self.trace.push(TraceStep::BranchStart { index: 1 });
+        self.push_step(TraceStep::BranchEnd { index: 0 });
+        self.push_step(TraceStep::BranchStart { index: 1 });
         let out = self.intro_hyps(ctx2, vec![Assertion::pure(prop.negated())], goal2)?;
-        self.trace.push(TraceStep::BranchEnd { index: 1 });
+        self.push_step(TraceStep::BranchEnd { index: 1 });
         Ok(out)
     }
 
@@ -1067,7 +1084,7 @@ impl<'a> Engine<'a> {
     ) -> Solved {
         match decompose(&expr) {
             Decomp::Value(v) => {
-                self.trace.push(TraceStep::ValueReached);
+                self.push_step(TraceStep::ValueReached);
                 let v = resolve_val(&mut ctx, &v);
                 let Some(term) = ctx.syms.val_to_term(&v) else {
                     let g = Goal::Done;
@@ -1129,15 +1146,15 @@ impl<'a> Engine<'a> {
                 let b = args[0].clone();
                 let mk = |branch: &Expr| fill_ctx(&k, branch.clone());
                 if ctx.prove_pure_frozen(&PureProp::eq(b.clone(), Term::bool(true))) {
-                    self.trace.push(TraceStep::PureStep { rule: "if-true" });
+                    self.push_step(TraceStep::PureStep { rule: "if-true" });
                     return self.wp_goal(ctx, mk(t), mask, post, then);
                 }
                 if ctx.prove_pure_frozen(&PureProp::eq(b.clone(), Term::bool(false))) {
-                    self.trace.push(TraceStep::PureStep { rule: "if-false" });
+                    self.push_step(TraceStep::PureStep { rule: "if-false" });
                     return self.wp_goal(ctx, mk(e), mask, post, then);
                 }
                 // Case split on the boolean.
-                self.trace.push(TraceStep::CaseSplit {
+                self.push_step(TraceStep::CaseSplit {
                     on: "symbolic if".into(),
                     branches: 2,
                 });
@@ -1147,7 +1164,7 @@ impl<'a> Engine<'a> {
                     }
                 }
                 let ctx2 = ctx.clone();
-                self.trace.push(TraceStep::BranchStart { index: 0 });
+                self.push_step(TraceStep::BranchStart { index: 0 });
                 self.intro_hyps(
                     ctx,
                     vec![Assertion::pure(PureProp::eq(b.clone(), Term::bool(true)))],
@@ -1158,8 +1175,8 @@ impl<'a> Engine<'a> {
                         then: Box::new(then.clone()),
                     },
                 )?;
-                self.trace.push(TraceStep::BranchEnd { index: 0 });
-                self.trace.push(TraceStep::BranchStart { index: 1 });
+                self.push_step(TraceStep::BranchEnd { index: 0 });
+                self.push_step(TraceStep::BranchStart { index: 1 });
                 let out = self.intro_hyps(
                     ctx2,
                     vec![Assertion::pure(PureProp::eq(b, Term::bool(false)))],
@@ -1170,7 +1187,7 @@ impl<'a> Engine<'a> {
                         then: Box::new(then),
                     },
                 )?;
-                self.trace.push(TraceStep::BranchEnd { index: 1 });
+                self.push_step(TraceStep::BranchEnd { index: 1 });
                 return Ok(out);
             }
         }
@@ -1188,7 +1205,7 @@ impl<'a> Engine<'a> {
                 if let Term::App(Sym::VInt, args) = &t {
                     let out = Term::v_int(Term::neg(args[0].clone()));
                     let v = ctx.syms.term_to_val(&ctx.vars.clone(), &out);
-                    self.trace.push(TraceStep::PureStep { rule: "neg-sym" });
+                    self.push_step(TraceStep::PureStep { rule: "neg-sym" });
                     return self.wp_goal(ctx, fill_ctx(&k, Expr::Val(v)), mask, post, then);
                 }
             }
@@ -1199,7 +1216,7 @@ impl<'a> Engine<'a> {
             Ok(res) => {
                 debug_assert!(res.forked.is_none(), "fork handled as heap op");
                 debug_assert!(dummy_heap.is_empty(), "heap op slipped through");
-                self.trace.push(TraceStep::PureStep { rule: "head-step" });
+                self.push_step(TraceStep::PureStep { rule: "head-step" });
                 self.wp_goal(ctx, fill_ctx(&k, res.expr), mask, post, then)
             }
             Err(e) => {
@@ -1272,7 +1289,7 @@ impl<'a> Engine<'a> {
                     _ => Term::mul(a, b),
                 };
                 let v = ctx.syms.term_to_val(&ctx.vars.clone(), &Term::v_int(out));
-                self.trace.push(TraceStep::PureStep { rule: "arith-sym" });
+                self.push_step(TraceStep::PureStep { rule: "arith-sym" });
                 self.wp_goal(ctx, fill_ctx(&k, Expr::Val(v)), mask, post, then)
             }
             BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
@@ -1316,14 +1333,14 @@ impl<'a> Engine<'a> {
                 };
                 let mk = |b: bool| fill_ctx(&k, Expr::bool(b));
                 if ctx.prove_pure_frozen(&prop) {
-                    self.trace.push(TraceStep::PureStep { rule: "cmp-true" });
+                    self.push_step(TraceStep::PureStep { rule: "cmp-true" });
                     return self.wp_goal(ctx, mk(true), mask, post, then);
                 }
                 if ctx.prove_pure_frozen(&prop.negated()) {
-                    self.trace.push(TraceStep::PureStep { rule: "cmp-false" });
+                    self.push_step(TraceStep::PureStep { rule: "cmp-false" });
                     return self.wp_goal(ctx, mk(false), mask, post, then);
                 }
-                self.trace.push(TraceStep::CaseSplit {
+                self.push_step(TraceStep::CaseSplit {
                     on: "symbolic comparison".into(),
                     branches: 2,
                 });
@@ -1333,7 +1350,7 @@ impl<'a> Engine<'a> {
                     }
                 }
                 let ctx2 = ctx.clone();
-                self.trace.push(TraceStep::BranchStart { index: 0 });
+                self.push_step(TraceStep::BranchStart { index: 0 });
                 self.intro_hyps(
                     ctx,
                     vec![Assertion::pure(prop.clone())],
@@ -1344,8 +1361,8 @@ impl<'a> Engine<'a> {
                         then: Box::new(then.clone()),
                     },
                 )?;
-                self.trace.push(TraceStep::BranchEnd { index: 0 });
-                self.trace.push(TraceStep::BranchStart { index: 1 });
+                self.push_step(TraceStep::BranchEnd { index: 0 });
+                self.push_step(TraceStep::BranchStart { index: 1 });
                 let out = self.intro_hyps(
                     ctx2,
                     vec![Assertion::pure(prop.negated())],
@@ -1356,7 +1373,7 @@ impl<'a> Engine<'a> {
                         then: Box::new(then),
                     },
                 )?;
-                self.trace.push(TraceStep::BranchEnd { index: 1 });
+                self.push_step(TraceStep::BranchEnd { index: 1 });
                 Ok(out)
             }
             _ => Err(self.stuck(
@@ -1379,7 +1396,7 @@ impl<'a> Engine<'a> {
         spec: &crate::spec::Spec,
         arg_term: Term,
     ) -> Solved {
-        self.trace.push(TraceStep::SymEx {
+        self.push_step(TraceStep::SymEx {
             spec: spec.name.clone(),
             atomic: spec.atomic,
         });
@@ -1441,7 +1458,7 @@ impl<'a> Engine<'a> {
         // created after the current scope was entered and is interned in the
         // symbol table), so the `∀w` of sym-ex-fupd-exist needs no further
         // introduction step.
-        self.trace.push(TraceStep::IntroVar { name: "w".into() });
+        self.push_step(TraceStep::IntroVar { name: "w".into() });
         let cont = Goal::wand_intro(spec_post, Goal::StripLaters(Box::new(cont_wp)));
         // `then` runs after the whole wp; splice it at the end by wrapping:
         // the wp atom inside cont_wp carries its own continuation via the
@@ -1630,7 +1647,7 @@ impl<'a> Engine<'a> {
                     ))
                 }
             };
-        self.trace.push(TraceStep::SymEx {
+        self.push_step(TraceStep::SymEx {
             spec: name.to_owned(),
             atomic: true,
         });
@@ -1654,8 +1671,8 @@ impl Engine<'_> {
         reason: &str,
     ) -> Solved {
         if let Some((name, idx, replacement)) = self.try_unfold_tactic(&mut ctx) {
-            self.trace.push(TraceStep::TacticUsed { name: name.clone() });
-            self.trace.push(TraceStep::HintApplied {
+            self.push_step(TraceStep::TacticUsed { name: name.clone() });
+            self.push_step(TraceStep::HintApplied {
                 rules: vec![name],
                 hyp: Some(ctx.delta[idx].name.clone()),
                 custom: true,

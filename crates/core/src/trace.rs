@@ -108,6 +108,116 @@ pub enum TraceStep {
     },
 }
 
+/// The kind (discriminant) of a [`TraceStep`], used by
+/// [`crate::telemetry`] to count rule applications per step kind and by
+/// the JSON codec ([`crate::trace_json`]) as the step tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // mirrors the TraceStep variants one-for-one
+pub enum TraceKind {
+    IntroVar,
+    IntroHyp,
+    Fact,
+    PureStep,
+    SymEx,
+    HintApplied,
+    InvOpened,
+    InvClosed,
+    PureObligation,
+    Contradiction,
+    CaseSplit,
+    BranchStart,
+    BranchEnd,
+    ValueReached,
+    TacticUsed,
+    DisjunctChosen,
+}
+
+impl TraceKind {
+    /// Number of step kinds.
+    pub const COUNT: usize = 16;
+
+    /// Every kind, in declaration order (the order of
+    /// [`TraceKind::index`]).
+    pub const ALL: [TraceKind; TraceKind::COUNT] = [
+        TraceKind::IntroVar,
+        TraceKind::IntroHyp,
+        TraceKind::Fact,
+        TraceKind::PureStep,
+        TraceKind::SymEx,
+        TraceKind::HintApplied,
+        TraceKind::InvOpened,
+        TraceKind::InvClosed,
+        TraceKind::PureObligation,
+        TraceKind::Contradiction,
+        TraceKind::CaseSplit,
+        TraceKind::BranchStart,
+        TraceKind::BranchEnd,
+        TraceKind::ValueReached,
+        TraceKind::TacticUsed,
+        TraceKind::DisjunctChosen,
+    ];
+
+    /// A stable dense index, suitable for counter arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stable snake_case name used as the JSON key for this kind.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::IntroVar => "intro_var",
+            TraceKind::IntroHyp => "intro_hyp",
+            TraceKind::Fact => "fact",
+            TraceKind::PureStep => "pure_step",
+            TraceKind::SymEx => "sym_ex",
+            TraceKind::HintApplied => "hint_applied",
+            TraceKind::InvOpened => "inv_opened",
+            TraceKind::InvClosed => "inv_closed",
+            TraceKind::PureObligation => "pure_obligation",
+            TraceKind::Contradiction => "contradiction",
+            TraceKind::CaseSplit => "case_split",
+            TraceKind::BranchStart => "branch_start",
+            TraceKind::BranchEnd => "branch_end",
+            TraceKind::ValueReached => "value_reached",
+            TraceKind::TacticUsed => "tactic_used",
+            TraceKind::DisjunctChosen => "disjunct_chosen",
+        }
+    }
+
+    /// The inverse of [`TraceKind::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<TraceKind> {
+        TraceKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl TraceStep {
+    /// The kind of this step.
+    #[must_use]
+    pub fn kind(&self) -> TraceKind {
+        match self {
+            TraceStep::IntroVar { .. } => TraceKind::IntroVar,
+            TraceStep::IntroHyp { .. } => TraceKind::IntroHyp,
+            TraceStep::Fact { .. } => TraceKind::Fact,
+            TraceStep::PureStep { .. } => TraceKind::PureStep,
+            TraceStep::SymEx { .. } => TraceKind::SymEx,
+            TraceStep::HintApplied { .. } => TraceKind::HintApplied,
+            TraceStep::InvOpened { .. } => TraceKind::InvOpened,
+            TraceStep::InvClosed { .. } => TraceKind::InvClosed,
+            TraceStep::PureObligation { .. } => TraceKind::PureObligation,
+            TraceStep::Contradiction { .. } => TraceKind::Contradiction,
+            TraceStep::CaseSplit { .. } => TraceKind::CaseSplit,
+            TraceStep::BranchStart { .. } => TraceKind::BranchStart,
+            TraceStep::BranchEnd { .. } => TraceKind::BranchEnd,
+            TraceStep::ValueReached => TraceKind::ValueReached,
+            TraceStep::TacticUsed { .. } => TraceKind::TacticUsed,
+            TraceStep::DisjunctChosen { .. } => TraceKind::DisjunctChosen,
+        }
+    }
+}
+
 /// The full trace of one verification.
 #[derive(Debug, Clone, Default)]
 pub struct ProofTrace {
@@ -220,5 +330,68 @@ mod tests {
         assert_eq!(t.custom_hints_used().len(), 1);
         assert_eq!(t.tactics_used(), 1);
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn accessors_on_empty_trace() {
+        let t = ProofTrace::new();
+        assert!(t.is_empty());
+        assert!(t.hints_used().is_empty());
+        assert!(t.custom_hints_used().is_empty());
+        assert_eq!(t.tactics_used(), 0);
+        assert_eq!(t.symex_steps(), 0);
+    }
+
+    #[test]
+    fn hints_used_deduplicates_and_ignores_non_hints() {
+        let mut t = ProofTrace::new();
+        // The same rule fired twice must count once; a custom hint's rules
+        // appear in `hints_used` too (it is the union).
+        for _ in 0..2 {
+            t.push(TraceStep::HintApplied {
+                rules: vec!["points-to-agree".into()],
+                hyp: Some("H2".into()),
+                custom: false,
+            });
+        }
+        t.push(TraceStep::HintApplied {
+            rules: vec!["user-rule".into()],
+            hyp: None,
+            custom: true,
+        });
+        t.push(TraceStep::SymEx {
+            spec: "CmpXchg".into(),
+            atomic: true,
+        });
+        t.push(TraceStep::ValueReached);
+        assert_eq!(
+            t.hints_used().into_iter().collect::<Vec<_>>(),
+            vec!["points-to-agree".to_owned(), "user-rule".to_owned()]
+        );
+        assert_eq!(
+            t.custom_hints_used().into_iter().collect::<Vec<_>>(),
+            vec!["user-rule".to_owned()]
+        );
+        assert_eq!(t.tactics_used(), 0);
+        assert_eq!(t.symex_steps(), 1);
+    }
+
+    #[test]
+    fn kind_classification_is_total_and_stable() {
+        // Every kind has a distinct index and a distinct name, and
+        // `from_name` inverts `name`.
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, k) in TraceKind::ALL.into_iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(seen.insert(k.name()), "duplicate kind name {}", k.name());
+            assert_eq!(TraceKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(seen.len(), TraceKind::COUNT);
+        assert_eq!(TraceKind::from_name("nonsense"), None);
+        assert_eq!(TraceStep::ValueReached.kind(), TraceKind::ValueReached);
+        assert_eq!(
+            TraceStep::PureStep { rule: "if-true" }.kind(),
+            TraceKind::PureStep
+        );
     }
 }

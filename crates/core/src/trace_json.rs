@@ -1,0 +1,986 @@
+//! A lossless JSON serialization for proof traces.
+//!
+//! `serde` is unavailable in this build environment (the container has no
+//! registry access), so this module hand-rolls the one serialization the
+//! repo needs: [`TraceStep`] and [`ProofTrace`] to and from JSON, shared
+//! by the telemetry sinks ([`crate::telemetry`]) and the replay checker
+//! ([`crate::checker::check_json`]). Keeping encoder and decoder next to
+//! each other — and round-tripping every example's real trace in the
+//! bench tests — is the stand-in for a derived implementation.
+//!
+//! Integers wider than 53 bits (`i128` literals, `u64` locations and
+//! ghost names) are encoded as JSON *strings* so no consumer can lose
+//! precision going through a float; everything else is plain JSON.
+//!
+//! Two `TraceStep` fields are `&'static str` (`PureStep::rule`,
+//! `DisjunctChosen::{side, reason}`); the decoder maps them back onto the
+//! engine's known literals and rejects unknown values. The bench
+//! round-trip test over all examples keeps those tables in sync with the
+//! strategy.
+
+use crate::trace::{ProofTrace, TraceKind, TraceStep};
+use diaframe_logic::Namespace;
+use diaframe_term::{EVarId, PureProp, Qp, Rat, Sort, Sym, Term, VarCtx, VarId};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Errors
+
+/// A decoding failure (malformed JSON or a value outside the trace
+/// grammar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace JSON: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+// ---------------------------------------------------------------------------
+// Escaping and a minimal JSON value
+
+/// Escapes `s` for inclusion in a JSON string literal (non-ASCII is
+/// passed through raw; JSON is UTF-8).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value. Numbers keep their raw text so integer consumers
+/// never round-trip through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn field<'a>(&'a self, key: &str) -> Result<&'a Json, JsonError> {
+        match self.get(key) {
+            Some(v) => Ok(v),
+            None => err(format!("missing field `{key}`")),
+        }
+    }
+
+    fn str_field(&self, key: &str) -> Result<&str, JsonError> {
+        match self.field(key)? {
+            Json::Str(s) => Ok(s),
+            v => err(format!("field `{key}`: expected string, got {v:?}")),
+        }
+    }
+
+    fn bool_field(&self, key: &str) -> Result<bool, JsonError> {
+        match self.field(key)? {
+            Json::Bool(b) => Ok(*b),
+            v => err(format!("field `{key}`: expected bool, got {v:?}")),
+        }
+    }
+
+    fn usize_field(&self, key: &str) -> Result<usize, JsonError> {
+        match self.field(key)? {
+            Json::Num(n) => n
+                .parse::<usize>()
+                .map_err(|_| JsonError(format!("field `{key}`: bad integer {n}"))),
+            v => err(format!("field `{key}`: expected number, got {v:?}")),
+        }
+    }
+
+    fn arr_field<'a>(&'a self, key: &str) -> Result<&'a [Json], JsonError> {
+        match self.field(key)? {
+            Json::Arr(items) => Ok(items),
+            v => err(format!("field `{key}`: expected array, got {v:?}")),
+        }
+    }
+
+    /// An integer encoded as a JSON string (the wide-integer convention).
+    fn wide_int_field<T: std::str::FromStr>(&self, key: &str) -> Result<T, JsonError> {
+        match self.field(key)? {
+            Json::Str(s) => s
+                .parse::<T>()
+                .map_err(|_| JsonError(format!("field `{key}`: bad wide integer {s:?}"))),
+            v => err(format!("field `{key}`: expected string-encoded integer, got {v:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start || (self.pos == start + 1 && self.bytes[start] == b'-') {
+            return err(format!("bad number at byte {start}"));
+        }
+        // Fractions/exponents never occur in this grammar.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Ok(Json::Num(text.to_owned()))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError("invalid UTF-8 in string".into()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| JsonError("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError("bad \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError("surrogate \\u escape".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return err("unterminated string"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return err(format!("expected `,` or `]`, found {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return err(format!("expected `,` or `}}`, found {other:?}")),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Static-literal tables
+
+/// The `PureStep` rules the strategy emits; `PureStep::rule` is a
+/// `&'static str`, so decoding must map back onto these literals.
+const PURE_STEP_RULES: [&str; 7] = [
+    "if-true",
+    "if-false",
+    "head-step",
+    "arith-sym",
+    "neg-sym",
+    "cmp-true",
+    "cmp-false",
+];
+
+const DISJUNCT_SIDES: [&str; 2] = ["left", "right"];
+
+const DISJUNCT_REASONS: [&str; 3] = [
+    "left guard refuted",
+    "right guard refuted",
+    "backtracking",
+];
+
+fn intern(value: &str, table: &[&'static str], what: &str) -> Result<&'static str, JsonError> {
+    match table.iter().find(|t| **t == value) {
+        Some(t) => Ok(t),
+        None => err(format!("unknown {what} {value:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+fn sym_name(sym: Sym) -> &'static str {
+    match sym {
+        Sym::Add => "add",
+        Sym::Sub => "sub",
+        Sym::Neg => "neg",
+        Sym::Mul => "mul",
+        Sym::Min => "min",
+        Sym::Max => "max",
+        Sym::VInt => "v_int",
+        Sym::VBool => "v_bool",
+        Sym::VUnit => "v_unit",
+        Sym::VLoc => "v_loc",
+        Sym::VPair => "v_pair",
+        Sym::VInjL => "v_injl",
+        Sym::VInjR => "v_injr",
+        Sym::Fst => "fst",
+        Sym::Snd => "snd",
+    }
+}
+
+fn sym_from_name(name: &str) -> Result<Sym, JsonError> {
+    const ALL: [Sym; 15] = [
+        Sym::Add,
+        Sym::Sub,
+        Sym::Neg,
+        Sym::Mul,
+        Sym::Min,
+        Sym::Max,
+        Sym::VInt,
+        Sym::VBool,
+        Sym::VUnit,
+        Sym::VLoc,
+        Sym::VPair,
+        Sym::VInjL,
+        Sym::VInjR,
+        Sym::Fst,
+        Sym::Snd,
+    ];
+    match ALL.into_iter().find(|s| sym_name(*s) == name) {
+        Some(s) => Ok(s),
+        None => err(format!("unknown symbol {name:?}")),
+    }
+}
+
+fn sort_name(sort: Sort) -> &'static str {
+    match sort {
+        Sort::Int => "int",
+        Sort::Bool => "bool",
+        Sort::Val => "val",
+        Sort::Loc => "loc",
+        Sort::Qp => "qp",
+        Sort::GhostName => "gname",
+        Sort::Unit => "unit",
+    }
+}
+
+fn sort_from_name(name: &str) -> Result<Sort, JsonError> {
+    const ALL: [Sort; 7] = [
+        Sort::Int,
+        Sort::Bool,
+        Sort::Val,
+        Sort::Loc,
+        Sort::Qp,
+        Sort::GhostName,
+        Sort::Unit,
+    ];
+    match ALL.into_iter().find(|s| sort_name(*s) == name) {
+        Some(s) => Ok(s),
+        None => err(format!("unknown sort {name:?}")),
+    }
+}
+
+fn term_json(t: &Term, out: &mut String) {
+    match t {
+        Term::Var(v) => {
+            let _ = write!(out, "{{\"v\":{}}}", v.index());
+        }
+        Term::EVar(e) => {
+            let _ = write!(out, "{{\"e\":{}}}", e.index());
+        }
+        Term::Int(i) => {
+            let _ = write!(out, "{{\"i\":\"{i}\"}}");
+        }
+        Term::Bool(b) => {
+            let _ = write!(out, "{{\"b\":{b}}}");
+        }
+        Term::QpLit(q) => {
+            let r = q.as_rat();
+            let _ = write!(out, "{{\"q\":[\"{}\",\"{}\"]}}", r.numerator(), r.denominator());
+        }
+        Term::Loc(l) => {
+            let _ = write!(out, "{{\"l\":\"{l}\"}}");
+        }
+        Term::Gname(g) => {
+            let _ = write!(out, "{{\"g\":\"{g}\"}}");
+        }
+        Term::App(sym, args) => {
+            let _ = write!(out, "{{\"a\":\"{}\",\"ts\":[", sym_name(*sym));
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                term_json(a, out);
+            }
+            out.push_str("]}");
+        }
+    }
+}
+
+fn term_from_json(v: &Json) -> Result<Term, JsonError> {
+    let obj = match v {
+        Json::Obj(_) => v,
+        other => return err(format!("expected term object, got {other:?}")),
+    };
+    if let Some(Json::Num(n)) = obj.get("v") {
+        let idx: usize = n
+            .parse()
+            .map_err(|_| JsonError(format!("bad var index {n}")))?;
+        return Ok(Term::Var(VarId::from_index(idx)));
+    }
+    if let Some(Json::Num(n)) = obj.get("e") {
+        let idx: usize = n
+            .parse()
+            .map_err(|_| JsonError(format!("bad evar index {n}")))?;
+        return Ok(Term::EVar(EVarId::from_index(idx)));
+    }
+    if obj.get("i").is_some() {
+        return Ok(Term::Int(obj.wide_int_field("i")?));
+    }
+    if obj.get("b").is_some() {
+        return Ok(Term::Bool(obj.bool_field("b")?));
+    }
+    if let Some(Json::Arr(parts)) = obj.get("q") {
+        if let [Json::Str(num), Json::Str(den)] = parts.as_slice() {
+            let num: i128 = num
+                .parse()
+                .map_err(|_| JsonError(format!("bad fraction numerator {num:?}")))?;
+            let den: i128 = den
+                .parse()
+                .map_err(|_| JsonError(format!("bad fraction denominator {den:?}")))?;
+            let q = Qp::from_rat(Rat::new(num, den))
+                .ok_or_else(|| JsonError(format!("non-positive fraction {num}/{den}")))?;
+            return Ok(Term::QpLit(q));
+        }
+        return err("fraction must be a pair of string-encoded integers");
+    }
+    if obj.get("l").is_some() {
+        return Ok(Term::Loc(obj.wide_int_field("l")?));
+    }
+    if obj.get("g").is_some() {
+        return Ok(Term::Gname(obj.wide_int_field("g")?));
+    }
+    if obj.get("a").is_some() {
+        let sym = sym_from_name(obj.str_field("a")?)?;
+        let args = obj
+            .arr_field("ts")?
+            .iter()
+            .map(term_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if args.len() != sym.arity() {
+            return err(format!(
+                "symbol {} expects {} arguments, got {}",
+                sym_name(sym),
+                sym.arity(),
+                args.len()
+            ));
+        }
+        return Ok(Term::App(sym, args));
+    }
+    err(format!("unrecognized term {obj:?}"))
+}
+
+fn prop_json(p: &PureProp, out: &mut String) {
+    let binary = |tag: &str, l: &Term, r: &Term, out: &mut String| {
+        let _ = write!(out, "{{\"p\":\"{tag}\",\"l\":");
+        term_json(l, out);
+        out.push_str(",\"r\":");
+        term_json(r, out);
+        out.push('}');
+    };
+    match p {
+        PureProp::True => out.push_str("{\"p\":\"true\"}"),
+        PureProp::False => out.push_str("{\"p\":\"false\"}"),
+        PureProp::Eq(l, r) => binary("eq", l, r, out),
+        PureProp::Ne(l, r) => binary("ne", l, r, out),
+        PureProp::Le(l, r) => binary("le", l, r, out),
+        PureProp::Lt(l, r) => binary("lt", l, r, out),
+        PureProp::And(l, r) | PureProp::Or(l, r) | PureProp::Implies(l, r) => {
+            let tag = match p {
+                PureProp::And(..) => "and",
+                PureProp::Or(..) => "or",
+                _ => "implies",
+            };
+            let _ = write!(out, "{{\"p\":\"{tag}\",\"l\":");
+            prop_json(l, out);
+            out.push_str(",\"r\":");
+            prop_json(r, out);
+            out.push('}');
+        }
+        PureProp::Not(x) => {
+            out.push_str("{\"p\":\"not\",\"x\":");
+            prop_json(x, out);
+            out.push('}');
+        }
+    }
+}
+
+fn prop_from_json(v: &Json) -> Result<PureProp, JsonError> {
+    let tag = v.str_field("p")?;
+    match tag {
+        "true" => Ok(PureProp::True),
+        "false" => Ok(PureProp::False),
+        "eq" | "ne" | "le" | "lt" => {
+            let l = term_from_json(v.field("l")?)?;
+            let r = term_from_json(v.field("r")?)?;
+            Ok(match tag {
+                "eq" => PureProp::Eq(l, r),
+                "ne" => PureProp::Ne(l, r),
+                "le" => PureProp::Le(l, r),
+                _ => PureProp::Lt(l, r),
+            })
+        }
+        "and" | "or" | "implies" => {
+            let l = Box::new(prop_from_json(v.field("l")?)?);
+            let r = Box::new(prop_from_json(v.field("r")?)?);
+            Ok(match tag {
+                "and" => PureProp::And(l, r),
+                "or" => PureProp::Or(l, r),
+                _ => PureProp::Implies(l, r),
+            })
+        }
+        "not" => Ok(PureProp::Not(Box::new(prop_from_json(v.field("x")?)?))),
+        other => err(format!("unknown proposition tag {other:?}")),
+    }
+}
+
+fn varctx_json(vars: &VarCtx, out: &mut String) {
+    let _ = write!(out, "{{\"level\":{},\"vars\":[", vars.level());
+    for i in 0..vars.num_vars() {
+        if i > 0 {
+            out.push(',');
+        }
+        let v = VarId::from_index(i);
+        let _ = write!(
+            out,
+            "{{\"sort\":\"{}\",\"level\":{},\"name\":\"{}\"}}",
+            sort_name(vars.var_sort(v)),
+            vars.var_level(v),
+            json_escape(vars.var_name(v))
+        );
+    }
+    out.push_str("],\"evars\":[");
+    for i in 0..vars.num_evars() {
+        if i > 0 {
+            out.push(',');
+        }
+        let e = EVarId::from_index(i);
+        let _ = write!(
+            out,
+            "{{\"sort\":\"{}\",\"level\":{},\"sol\":",
+            sort_name(vars.evar_sort(e)),
+            vars.evar_level(e)
+        );
+        match vars.evar_solution(e) {
+            Some(t) => term_json(t, out),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+fn varctx_from_json(v: &Json) -> Result<VarCtx, JsonError> {
+    let mut ctx = VarCtx::new();
+    for entry in v.arr_field("vars")? {
+        let sort = sort_from_name(entry.str_field("sort")?)?;
+        let level = u32::try_from(entry.usize_field("level")?)
+            .map_err(|_| JsonError("variable level out of range".into()))?;
+        ctx.push_raw_var(sort, level, entry.str_field("name")?);
+    }
+    for entry in v.arr_field("evars")? {
+        let sort = sort_from_name(entry.str_field("sort")?)?;
+        let level = u32::try_from(entry.usize_field("level")?)
+            .map_err(|_| JsonError("evar level out of range".into()))?;
+        let sol = match entry.field("sol")? {
+            Json::Null => None,
+            t => Some(term_from_json(t)?),
+        };
+        ctx.push_raw_evar(sort, level, sol);
+    }
+    ctx.set_level(
+        u32::try_from(v.usize_field("level")?)
+            .map_err(|_| JsonError("context level out of range".into()))?,
+    );
+    Ok(ctx)
+}
+
+/// Encodes one step as a single-line JSON object tagged by
+/// [`TraceKind::name`].
+#[must_use]
+pub fn step_to_json(step: &TraceStep) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"step\":\"{}\"", step.kind().name());
+    match step {
+        TraceStep::IntroVar { name } => {
+            let _ = write!(out, ",\"name\":\"{}\"", json_escape(name));
+        }
+        TraceStep::IntroHyp { hyp } => {
+            let _ = write!(out, ",\"hyp\":\"{}\"", json_escape(hyp));
+        }
+        TraceStep::Fact { prop } => {
+            out.push_str(",\"prop\":");
+            prop_json(prop, &mut out);
+        }
+        TraceStep::PureStep { rule } => {
+            let _ = write!(out, ",\"rule\":\"{}\"", json_escape(rule));
+        }
+        TraceStep::SymEx { spec, atomic } => {
+            let _ = write!(out, ",\"spec\":\"{}\",\"atomic\":{atomic}", json_escape(spec));
+        }
+        TraceStep::HintApplied { rules, hyp, custom } => {
+            out.push_str(",\"rules\":[");
+            for (i, r) in rules.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", json_escape(r));
+            }
+            out.push_str("],\"hyp\":");
+            match hyp {
+                Some(h) => {
+                    let _ = write!(out, "\"{}\"", json_escape(h));
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(out, ",\"custom\":{custom}");
+        }
+        TraceStep::InvOpened { ns } | TraceStep::InvClosed { ns } => {
+            let _ = write!(out, ",\"ns\":\"{}\"", json_escape(ns.as_str()));
+        }
+        TraceStep::PureObligation { facts, goal, vars } => {
+            out.push_str(",\"facts\":[");
+            for (i, f) in facts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                prop_json(f, &mut out);
+            }
+            out.push_str("],\"goal\":");
+            prop_json(goal, &mut out);
+            out.push_str(",\"vars\":");
+            varctx_json(vars, &mut out);
+        }
+        TraceStep::Contradiction { rule } => {
+            let _ = write!(out, ",\"rule\":\"{}\"", json_escape(rule));
+        }
+        TraceStep::CaseSplit { on, branches } => {
+            let _ = write!(out, ",\"on\":\"{}\",\"branches\":{branches}", json_escape(on));
+        }
+        TraceStep::BranchStart { index } | TraceStep::BranchEnd { index } => {
+            let _ = write!(out, ",\"index\":{index}");
+        }
+        TraceStep::ValueReached => {}
+        TraceStep::TacticUsed { name } => {
+            let _ = write!(out, ",\"name\":\"{}\"", json_escape(name));
+        }
+        TraceStep::DisjunctChosen { side, reason } => {
+            let _ = write!(out, ",\"side\":\"{side}\",\"reason\":\"{reason}\"");
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Decodes one step from the output of [`step_to_json`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on malformed JSON or values outside the trace
+/// grammar (e.g. an unknown `pure_step` rule).
+pub fn step_from_json(text: &str) -> Result<TraceStep, JsonError> {
+    step_from_value(&parse_json(text)?)
+}
+
+fn step_from_value(v: &Json) -> Result<TraceStep, JsonError> {
+    let tag = v.str_field("step")?;
+    let kind = TraceKind::from_name(tag)
+        .ok_or_else(|| JsonError(format!("unknown step kind {tag:?}")))?;
+    Ok(match kind {
+        TraceKind::IntroVar => TraceStep::IntroVar {
+            name: v.str_field("name")?.to_owned(),
+        },
+        TraceKind::IntroHyp => TraceStep::IntroHyp {
+            hyp: v.str_field("hyp")?.to_owned(),
+        },
+        TraceKind::Fact => TraceStep::Fact {
+            prop: prop_from_json(v.field("prop")?)?,
+        },
+        TraceKind::PureStep => TraceStep::PureStep {
+            rule: intern(v.str_field("rule")?, &PURE_STEP_RULES, "pure-step rule")?,
+        },
+        TraceKind::SymEx => TraceStep::SymEx {
+            spec: v.str_field("spec")?.to_owned(),
+            atomic: v.bool_field("atomic")?,
+        },
+        TraceKind::HintApplied => TraceStep::HintApplied {
+            rules: v
+                .arr_field("rules")?
+                .iter()
+                .map(|r| match r {
+                    Json::Str(s) => Ok(s.clone()),
+                    other => err(format!("hint rule must be a string, got {other:?}")),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            hyp: match v.field("hyp")? {
+                Json::Null => None,
+                Json::Str(s) => Some(s.clone()),
+                other => return err(format!("hyp must be a string or null, got {other:?}")),
+            },
+            custom: v.bool_field("custom")?,
+        },
+        TraceKind::InvOpened => TraceStep::InvOpened {
+            ns: Namespace::new(v.str_field("ns")?),
+        },
+        TraceKind::InvClosed => TraceStep::InvClosed {
+            ns: Namespace::new(v.str_field("ns")?),
+        },
+        TraceKind::PureObligation => TraceStep::PureObligation {
+            facts: v
+                .arr_field("facts")?
+                .iter()
+                .map(prop_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            goal: prop_from_json(v.field("goal")?)?,
+            vars: varctx_from_json(v.field("vars")?)?,
+        },
+        TraceKind::Contradiction => TraceStep::Contradiction {
+            rule: v.str_field("rule")?.to_owned(),
+        },
+        TraceKind::CaseSplit => TraceStep::CaseSplit {
+            on: v.str_field("on")?.to_owned(),
+            branches: v.usize_field("branches")?,
+        },
+        TraceKind::BranchStart => TraceStep::BranchStart {
+            index: v.usize_field("index")?,
+        },
+        TraceKind::BranchEnd => TraceStep::BranchEnd {
+            index: v.usize_field("index")?,
+        },
+        TraceKind::ValueReached => TraceStep::ValueReached,
+        TraceKind::TacticUsed => TraceStep::TacticUsed {
+            name: v.str_field("name")?.to_owned(),
+        },
+        TraceKind::DisjunctChosen => TraceStep::DisjunctChosen {
+            side: intern(v.str_field("side")?, &DISJUNCT_SIDES, "disjunct side")?,
+            reason: intern(v.str_field("reason")?, &DISJUNCT_REASONS, "disjunct reason")?,
+        },
+    })
+}
+
+/// Encodes a whole trace as a JSON array of step objects (one step per
+/// line, for greppable sink files).
+#[must_use]
+pub fn trace_to_json(trace: &ProofTrace) -> String {
+    let mut out = String::from("[\n");
+    for (i, step) in trace.steps().iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&step_to_json(step));
+    }
+    out.push_str("\n]");
+    out
+}
+
+/// Decodes the output of [`trace_to_json`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on malformed input (see [`step_from_json`]).
+pub fn trace_from_json(text: &str) -> Result<ProofTrace, JsonError> {
+    let v = parse_json(text)?;
+    let items = match &v {
+        Json::Arr(items) => items,
+        other => return err(format!("expected a trace array, got {other:?}")),
+    };
+    let mut trace = ProofTrace::new();
+    for item in items {
+        trace.push(step_from_value(item)?);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diaframe_term::Sort;
+
+    fn roundtrip(step: TraceStep) {
+        let json = step_to_json(&step);
+        let back = step_from_json(&json).unwrap_or_else(|e| panic!("{e}\nin {json}"));
+        assert_eq!(format!("{step:?}"), format!("{back:?}"), "via {json}");
+    }
+
+    #[test]
+    fn every_step_kind_round_trips() {
+        let mut vars = VarCtx::new();
+        let z = vars.fresh_var(Sort::Int, "z\"esc\n");
+        vars.push_level();
+        let e = vars.fresh_evar(Sort::Val);
+        let solved = vars.fresh_evar(Sort::Loc);
+        vars.solve_evar(solved, Term::Loc(u64::MAX));
+        vars.lower_evar_level(e, 0);
+
+        roundtrip(TraceStep::IntroVar { name: "x₁".into() });
+        roundtrip(TraceStep::IntroHyp { hyp: "↦ \"H\"".into() });
+        roundtrip(TraceStep::Fact {
+            prop: PureProp::And(
+                Box::new(PureProp::Lt(Term::int(i128::MIN), Term::var(z))),
+                Box::new(PureProp::Implies(
+                    Box::new(PureProp::Not(Box::new(PureProp::False))),
+                    Box::new(PureProp::Or(
+                        Box::new(PureProp::True),
+                        Box::new(PureProp::Ne(Term::Gname(7), Term::EVar(e))),
+                    )),
+                )),
+            ),
+        });
+        for rule in PURE_STEP_RULES {
+            roundtrip(TraceStep::PureStep { rule });
+        }
+        roundtrip(TraceStep::SymEx {
+            spec: "CmpXchg".into(),
+            atomic: true,
+        });
+        roundtrip(TraceStep::HintApplied {
+            rules: vec!["inv-open".into(), "token-mutate".into()],
+            hyp: Some("H3".into()),
+            custom: true,
+        });
+        roundtrip(TraceStep::HintApplied {
+            rules: vec![],
+            hyp: None,
+            custom: false,
+        });
+        roundtrip(TraceStep::InvOpened { ns: "lock.N".into() });
+        roundtrip(TraceStep::InvClosed { ns: "lock.N".into() });
+        roundtrip(TraceStep::PureObligation {
+            facts: vec![
+                PureProp::Le(
+                    Term::app(Sym::Add, vec![Term::var(z), Term::int(1)]),
+                    Term::app(
+                        Sym::Min,
+                        vec![Term::app(Sym::Neg, vec![Term::var(z)]), Term::int(3)],
+                    ),
+                ),
+                PureProp::Eq(
+                    Term::app(Sym::VPair, vec![Term::app(Sym::VUnit, vec![]), Term::Bool(true)]),
+                    Term::QpLit(Qp::half()),
+                ),
+            ],
+            goal: PureProp::Eq(Term::EVar(e), Term::var(z)),
+            vars,
+        });
+        roundtrip(TraceStep::Contradiction {
+            rule: "locked-unique".into(),
+        });
+        roundtrip(TraceStep::CaseSplit {
+            on: "b".into(),
+            branches: 2,
+        });
+        roundtrip(TraceStep::BranchStart { index: 0 });
+        roundtrip(TraceStep::BranchEnd { index: 1 });
+        roundtrip(TraceStep::ValueReached);
+        roundtrip(TraceStep::TacticUsed {
+            name: "case z = 1".into(),
+        });
+        for side in DISJUNCT_SIDES {
+            for reason in DISJUNCT_REASONS {
+                roundtrip(TraceStep::DisjunctChosen { side, reason });
+            }
+        }
+    }
+
+    #[test]
+    fn whole_trace_round_trips() {
+        let mut t = ProofTrace::new();
+        t.push(TraceStep::ValueReached);
+        t.push(TraceStep::SymEx {
+            spec: "Store".into(),
+            atomic: false,
+        });
+        let json = trace_to_json(&t);
+        let back = trace_from_json(&json).unwrap();
+        assert_eq!(format!("{:?}", t.steps()), format!("{:?}", back.steps()));
+        assert!(trace_from_json("[]").unwrap().is_empty());
+    }
+
+    #[test]
+    fn decoder_rejects_garbage() {
+        assert!(step_from_json("{\"step\":\"no_such_kind\"}").is_err());
+        assert!(step_from_json("{\"step\":\"pure_step\",\"rule\":\"made-up\"}").is_err());
+        assert!(step_from_json(
+            "{\"step\":\"disjunct_chosen\",\"side\":\"middle\",\"reason\":\"backtracking\"}"
+        )
+        .is_err());
+        assert!(step_from_json("{\"step\":\"intro_var\"}").is_err());
+        assert!(step_from_json("not json").is_err());
+        assert!(trace_from_json("{\"step\":\"value_reached\"}").is_err());
+        // Trailing data is rejected, not ignored.
+        assert!(step_from_json("{\"step\":\"value_reached\"} x").is_err());
+        // Wide integers must be strings.
+        assert!(step_from_json(
+            "{\"step\":\"fact\",\"prop\":{\"p\":\"eq\",\"l\":{\"i\":1},\"r\":{\"i\":\"1\"}}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let nasty = "a\"b\\c\nd\te\u{1}π";
+        roundtrip(TraceStep::IntroVar { name: nasty.into() });
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

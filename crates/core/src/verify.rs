@@ -63,7 +63,22 @@ pub fn verify(
     let mut opts = opts.clone();
     opts.ablation = opts.ablation.merged(crate::tactic::current_ablation());
     let opts = &opts;
-    with_verification_session(|| verify_inner(registry, specs, opts, ctx, spec))
+    // When a telemetry sink is configured and no session is active,
+    // auto-install one scoped to this call so standalone `verify` calls
+    // still emit their summary.
+    let auto = crate::telemetry::auto_session(&spec.name);
+    let _auto_guard = auto.as_ref().map(crate::telemetry::TelemetrySession::install);
+    let session = crate::telemetry::current();
+    let before = session.as_ref().map(crate::telemetry::TelemetrySession::snapshot);
+    let result = with_verification_session(|| verify_inner(registry, specs, opts, ctx, spec));
+    if let (Some(session), Some(before)) = (&session, &before) {
+        // Attribute this call's counter movement to the spec by name.
+        session.record_spec(&spec.name, session.snapshot().delta_since(before));
+    }
+    if let Some(auto) = auto {
+        auto.flush();
+    }
+    result
 }
 
 std::thread_local! {
@@ -114,14 +129,16 @@ pub fn with_verification_session<T: Send>(f: impl FnOnce() -> T + Send) -> T {
         return f();
     }
     // Thread-locals don't cross the spawn: re-establish the caller's
-    // ablation override inside the worker.
+    // ablation override and telemetry session inside the worker.
     let ablation = crate::tactic::current_ablation();
+    let telemetry = crate::telemetry::current();
     std::thread::scope(|scope| {
         let outcome = std::thread::Builder::new()
             .name("diaframe-verify".to_owned())
             .stack_size(session_stack_bytes())
             .spawn_scoped(scope, move || {
                 IN_SESSION.with(|c| c.set(true));
+                let _telemetry_guard = telemetry.as_ref().map(|s| s.install());
                 crate::tactic::with_ablation_override(ablation, f)
             })
             .expect("spawn verification worker")
@@ -176,7 +193,10 @@ fn verify_inner(
     );
     // The wp postcondition still mentions `spec.ret` as binder — `post.at`
     // substitutes it at the value step, so no further renaming is needed.
-    engine.solve(ctx, goal)?;
+    {
+        let _span = crate::telemetry::span("search");
+        engine.solve(ctx, goal)?;
+    }
     Ok(VerifiedProof {
         name: spec.name.clone(),
         trace: engine.trace,

@@ -27,6 +27,16 @@ impl VarId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds an id from a raw index (trace deserialization support).
+    ///
+    /// The id is only meaningful against the [`VarCtx`] it was recorded
+    /// with; the proof checker re-validates every use, so a stale index
+    /// can at worst make replay fail.
+    #[must_use]
+    pub fn from_index(index: usize) -> VarId {
+        VarId(u32::try_from(index).expect("variable index out of range"))
+    }
 }
 
 impl fmt::Display for VarId {
@@ -44,6 +54,14 @@ impl EVarId {
     #[must_use]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Rebuilds an id from a raw index (trace deserialization support).
+    ///
+    /// See [`VarId::from_index`] for the safety story.
+    #[must_use]
+    pub fn from_index(index: usize) -> EVarId {
+        EVarId(u32::try_from(index).expect("evar index out of range"))
     }
 }
 
@@ -79,11 +97,27 @@ pub struct EVarInfo {
 
 /// The arena of variables and evars for one verification, together with the
 /// current scope level.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct VarCtx {
     vars: Vec<VarInfo>,
     evars: Vec<EVarInfo>,
     level: Level,
+    solves: u64,
+}
+
+// `solves` is deliberately excluded: it counts speculative solve *events*
+// (see [`VarCtx::solve_events`]), which vary with search effort (e.g. the
+// hint index on/off) even when the resulting proof state is identical.
+// Trace snapshots embed a `VarCtx` and are compared via `Debug`, so the
+// effort counter must not leak into the rendering.
+impl fmt::Debug for VarCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VarCtx")
+            .field("vars", &self.vars)
+            .field("evars", &self.evars)
+            .field("level", &self.level)
+            .finish()
+    }
 }
 
 impl VarCtx {
@@ -141,6 +175,42 @@ impl VarCtx {
             solution: None,
         });
         id
+    }
+
+    /// Appends a variable with explicit metadata, bypassing the
+    /// current-level discipline (trace deserialization support: recorded
+    /// contexts interleave levels in ways [`fresh_var`]/[`fresh_var_base`]
+    /// cannot replay). The checker re-validates deserialized traces, so
+    /// malformed input can at worst make replay fail.
+    ///
+    /// [`fresh_var`]: VarCtx::fresh_var
+    /// [`fresh_var_base`]: VarCtx::fresh_var_base
+    pub fn push_raw_var(&mut self, sort: Sort, level: Level, name: &str) -> VarId {
+        let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
+        self.vars.push(VarInfo {
+            sort,
+            level,
+            name: name.to_owned(),
+        });
+        id
+    }
+
+    /// Appends an evar with explicit metadata (trace deserialization
+    /// support, see [`VarCtx::push_raw_var`]).
+    pub fn push_raw_evar(&mut self, sort: Sort, level: Level, solution: Option<Term>) -> EVarId {
+        let id = EVarId(u32::try_from(self.evars.len()).expect("too many evars"));
+        self.evars.push(EVarInfo {
+            sort,
+            level,
+            solution,
+        });
+        id
+    }
+
+    /// Sets the current scope level directly (trace deserialization
+    /// support; the search itself only ever calls [`VarCtx::push_level`]).
+    pub fn set_level(&mut self, level: Level) {
+        self.level = level;
     }
 
     #[must_use]
@@ -211,6 +281,19 @@ impl VarCtx {
         let info = &mut self.evars[e.index()];
         assert!(info.solution.is_none(), "evar {e} solved twice");
         info.solution = Some(t);
+        self.solves += 1;
+    }
+
+    /// Monotonic count of evar solve *events* in this context's history,
+    /// **including** speculative solutions later erased by [`rollback`]
+    /// (the counter is never decremented, and clones inherit it). This is
+    /// an instrumentation channel — telemetry reads deltas of it to
+    /// attribute unification effort — and has no semantic content.
+    ///
+    /// [`rollback`]: VarCtx::rollback
+    #[must_use]
+    pub fn solve_events(&self) -> u64 {
+        self.solves
     }
 
     /// Applies a function to every recorded evar solution (used when the
@@ -347,6 +430,48 @@ mod tests {
         assert_eq!(ctx.num_evars(), 1);
         assert!(ctx.evar_unsolved(e));
         assert_eq!(ctx.level(), 0);
+    }
+
+    #[test]
+    fn solve_events_survive_rollback() {
+        let mut ctx = VarCtx::new();
+        let e = ctx.fresh_evar(Sort::Int);
+        let mark = ctx.checkpoint();
+        ctx.solve_evar(e, Term::int(1));
+        assert_eq!(ctx.solve_events(), 1);
+        ctx.rollback(&mark);
+        // The solution is erased but the effort counter is monotonic.
+        assert!(ctx.evar_unsolved(e));
+        assert_eq!(ctx.solve_events(), 1);
+        // ... and it stays out of the Debug rendering, which trace
+        // equivalence tests compare byte-for-byte.
+        assert!(!format!("{ctx:?}").contains("solves"));
+    }
+
+    #[test]
+    fn raw_reconstruction_round_trips() {
+        let mut ctx = VarCtx::new();
+        ctx.push_level();
+        let a = ctx.fresh_var(Sort::Int, "a");
+        let _ = ctx.fresh_var_base(Sort::Loc, "l");
+        let e = ctx.fresh_evar(Sort::Int);
+        ctx.solve_evar(e, Term::var(a));
+
+        let mut rebuilt = VarCtx::new();
+        for i in 0..ctx.num_vars() {
+            let v = VarId::from_index(i);
+            rebuilt.push_raw_var(ctx.var_sort(v), ctx.var_level(v), ctx.var_name(v));
+        }
+        for i in 0..ctx.num_evars() {
+            let ev = EVarId::from_index(i);
+            rebuilt.push_raw_evar(
+                ctx.evar_sort(ev),
+                ctx.evar_level(ev),
+                ctx.evar_solution(ev).cloned(),
+            );
+        }
+        rebuilt.set_level(ctx.level());
+        assert_eq!(format!("{ctx:?}"), format!("{rebuilt:?}"));
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod unify;
 
 pub use evar::{EVarId, EVarInfo, Level, VarCtx, VarId, VarInfo};
 pub use pure::PureProp;
-pub use qp::Qp;
+pub use qp::{Qp, Rat};
 pub use sort::Sort;
 pub use subst::Subst;
 pub use term::{Sym, Term};
