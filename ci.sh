@@ -12,6 +12,10 @@
 #      must produce a v2 snapshot with non-zero counters, the
 #      telemetry-on/off trace-equivalence test must hold, and
 #      `figure6 --explain` must render a structured stuck report
+#   7. the soundness-fuzzing smoke gate: a fixed-seed fuzz_driver
+#      campaign must report zero differential divergences and zero
+#      surviving trace mutants, and two runs at the same seed must
+#      produce byte-identical JSON reports
 #
 # The committed BENCH_figure6.json is a reference snapshot; regenerate it
 # with  cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out BENCH_figure6.json
@@ -41,5 +45,21 @@ cargo test --release -p diaframe-bench --test telemetry -q
 # The stuck-state diagnostics must name the goal head the search missed.
 cargo run --release -p diaframe-bench --bin figure6 -- --explain spin_lock \
   | grep -q 'unmatched goal head'
+
+# --- soundness-fuzzing smoke gate (see EXPERIMENTS.md "Soundness harness") --
+# Fixed seed: ~200 generated entailments through the differential oracle
+# (engine → checker / check_json / telemetry / spec / index-off), then
+# adversarial mutation of every generated + real example trace. Any
+# divergence or surviving mutant makes fuzz_driver exit non-zero.
+cargo run --release -p diaframe-bench --bin fuzz_driver -- \
+  --seed 0xD1AF --cases 200 --mutations-per-trace 8 --json-out target/fuzz_report.json
+grep -q '"divergences": 0,' target/fuzz_report.json
+grep -q '"survivors": 0,' target/fuzz_report.json
+grep -q '"proved_unexpected": 0,' target/fuzz_report.json
+# Same seed ⇒ byte-identical report (no timestamps, no global RNG).
+cargo run --release -p diaframe-bench --bin fuzz_driver -- \
+  --seed 0xD1AF --cases 200 --mutations-per-trace 8 --json-out target/fuzz_report2.json \
+  > /dev/null
+cmp target/fuzz_report.json target/fuzz_report2.json
 
 echo "ci: all gates passed"

@@ -1,0 +1,400 @@
+//! `fuzz_driver` — the soundness-fuzzing campaign runner.
+//!
+//! Drives `diaframe_core::fuzz` end to end, in parallel:
+//!
+//! 1. **differential pass** — generates `--cases` entailments, runs the
+//!    search engine on each, and cross-checks every proved case through
+//!    the oracle's legs (telemetry on/off, `check` vs `check_json`,
+//!    codec byte-stability, executable spec);
+//! 2. **index pass** — re-runs every proved case with the `HeadSet`
+//!    hint index disabled (a process-global toggle, hence a separate
+//!    whole pass) and demands byte-identical trace JSON;
+//! 3. **mutation pass** — mutates every engine trace, a synthetic
+//!    valid-by-construction corpus, and the real example-suite traces;
+//!    every certified-invalid mutant must be killed by the checker, and
+//!    survivors are shrunk to a minimal witness.
+//!
+//! The JSON report is **byte-reproducible**: same seed, same report, no
+//! timestamps (wall time goes to the console only). `ci.sh` runs a
+//! fixed seed twice and `cmp`s the two reports.
+//!
+//! ```text
+//! fuzz_driver [--seed 0xD1AF] [--cases 200] [--mutations-per-trace 8]
+//!             [--jobs N] [--json-out PATH]
+//! ```
+//!
+//! Exits non-zero when any divergence, surviving mutant, or unexpected
+//! proof (an "unprovable-by-construction" case the engine proved) is
+//! found.
+
+use diaframe_core::fuzz::{
+    gen_trace, mutation_round, run_case, search_once, CaseReport, GenConfig, MutationKind,
+    MutationOutcome,
+};
+use diaframe_core::trace_json::trace_to_json;
+use diaframe_core::{hint_index_enabled, run_ordered, set_hint_index_enabled, TraceStep};
+use diaframe_examples::all_examples;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Minimal JSON string escaping for report detail strings.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+struct MutationRow {
+    label: String,
+    outcomes: Vec<MutationOutcome>,
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "fuzz_driver [--seed 0xD1AF] [--cases 200] [--mutations-per-trace 8] \
+             [--jobs N] [--json-out PATH]"
+        );
+        return;
+    }
+    let seed = match flag_value(&args, "--seed") {
+        Some(v) => parse_seed(&v).unwrap_or_else(|| {
+            eprintln!("fuzz_driver: bad --seed {v:?} (decimal or 0x-hex u64)");
+            std::process::exit(2);
+        }),
+        None => 0xD1AF,
+    };
+    let cases: usize = flag_value(&args, "--cases")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    let mutations_per_trace: usize = flag_value(&args, "--mutations-per-trace")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let jobs = flag_value(&args, "--jobs")
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or_else(diaframe_core::default_jobs, |n| n.max(1));
+    let json_out = flag_value(&args, "--json-out");
+
+    let t0 = Instant::now();
+    let cfg = GenConfig::default();
+
+    // ---- phase 1: differential battery ---------------------------------
+    let idxs: Vec<usize> = (0..cases).collect();
+    let reports: Vec<CaseReport> = run_ordered(&idxs, jobs, |_, &i| run_case(seed, i, &cfg))
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|p| {
+                eprintln!("fuzz_driver: worker panicked in differential pass: {p:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+
+    let mut divergences: Vec<String> = Vec::new();
+    let mut provable_expected = 0usize;
+    let mut proved_of_expected = 0usize;
+    let mut proved_unexpected: Vec<usize> = Vec::new();
+    let mut flavors: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+    for r in &reports {
+        divergences.extend(r.divergences.iter().cloned());
+        let slot = flavors.entry(r.flavor).or_insert((0, 0));
+        slot.0 += 1;
+        if r.proved {
+            slot.1 += 1;
+        }
+        if r.expect_provable {
+            provable_expected += 1;
+            if r.proved {
+                proved_of_expected += 1;
+            }
+        } else if r.proved {
+            proved_unexpected.push(r.index);
+        }
+    }
+    let missed_provable = provable_expected - proved_of_expected;
+
+    // ---- phase 2: indexed vs linear hint search ------------------------
+    // The index toggle is process-global, so this is a whole second pass
+    // rather than a per-case leg: every worker of the pass must see the
+    // same setting.
+    let proved_idx: Vec<usize> = reports
+        .iter()
+        .filter(|r| r.trace_json.is_some())
+        .map(|r| r.index)
+        .collect();
+    let index_was_on = hint_index_enabled();
+    set_hint_index_enabled(false);
+    let linear: Vec<Option<String>> = run_ordered(&proved_idx, jobs, |_, &i| {
+        search_once(seed, i, &cfg)
+            .trace
+            .map(|t| trace_to_json(&t))
+    })
+    .into_iter()
+    .map(|r| {
+        r.unwrap_or_else(|p| {
+            eprintln!("fuzz_driver: worker panicked in index pass: {p:?}");
+            std::process::exit(2);
+        })
+    })
+    .collect();
+    set_hint_index_enabled(index_was_on);
+    for (slot, &i) in linear.iter().zip(&proved_idx) {
+        let indexed = reports[i].trace_json.as_deref().expect("filtered above");
+        match slot.as_deref() {
+            Some(j) if j == indexed => {}
+            Some(_) => divergences.push(format!(
+                "case {i}: linear hint search produced a different trace than indexed"
+            )),
+            None => divergences.push(format!(
+                "case {i}: proved with the hint index but stuck without it"
+            )),
+        }
+    }
+
+    // ---- phase 3: adversarial mutation ---------------------------------
+    // Corpus: engine traces from phase 1, a synthetic valid-by-
+    // construction batch, and the real example-suite traces.
+    let mut corpus: Vec<(String, Vec<TraceStep>)> = Vec::new();
+    for r in &reports {
+        if let Some(json) = &r.trace_json {
+            let trace =
+                diaframe_core::trace_json::trace_from_json(json).expect("round-trip checked");
+            if !trace.is_empty() {
+                corpus.push((format!("gen-{}", r.index), trace.steps().to_vec()));
+            }
+        }
+    }
+    let n_synth = (cases / 4).max(16);
+    for j in 0..n_synth {
+        corpus.push((format!("synth-{j}"), gen_trace(seed, j).steps().to_vec()));
+    }
+    let examples = all_examples();
+    let example_traces: Vec<(String, Vec<TraceStep>)> =
+        run_ordered(&examples, jobs, |_, ex| match ex.verify() {
+            Ok(outcome) => outcome
+                .proofs
+                .into_iter()
+                .enumerate()
+                .map(|(k, p)| (format!("example-{}-{k}", ex.name()), p.trace.steps().to_vec()))
+                .collect::<Vec<_>>(),
+            Err(stuck) => {
+                eprintln!(
+                    "fuzz_driver: example {} failed to verify: {}",
+                    ex.name(),
+                    stuck.reason
+                );
+                std::process::exit(2);
+            }
+        })
+        .into_iter()
+        .flat_map(|r| {
+            r.unwrap_or_else(|p| {
+                eprintln!("fuzz_driver: worker panicked verifying examples: {p:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    corpus.extend(example_traces);
+
+    let rows: Vec<MutationRow> = run_ordered(&corpus, jobs, |ci, (label, steps)| MutationRow {
+        label: label.clone(),
+        outcomes: mutation_round(
+            steps,
+            diaframe_core::fuzz::FuzzRng::new(seed ^ 0x4D55_7A7E)
+                .fork(ci as u64)
+                .next_u64(),
+            mutations_per_trace,
+        ),
+    })
+    .into_iter()
+    .map(|r| {
+        r.unwrap_or_else(|p| {
+            eprintln!("fuzz_driver: worker panicked in mutation pass: {p:?}");
+            std::process::exit(2);
+        })
+    })
+    .collect();
+
+    let mut mutants = 0usize;
+    let mut killed = 0usize;
+    let mut by_kind: BTreeMap<&'static str, (usize, usize)> = MutationKind::ALL
+        .iter()
+        .map(|k| (k.name(), (0, 0)))
+        .collect();
+    let mut survivor_json = Vec::new();
+    let mut survivor_console = Vec::new();
+    for row in &rows {
+        for out in &row.outcomes {
+            mutants += 1;
+            let slot = by_kind.get_mut(out.kind.name()).expect("all kinds seeded");
+            slot.0 += 1;
+            if out.killed {
+                killed += 1;
+                slot.1 += 1;
+            } else {
+                let minimized = out
+                    .minimized
+                    .as_deref()
+                    .map(|s| trace_to_json(&diaframe_core::fuzz::trace_of_steps(s)))
+                    .unwrap_or_default();
+                survivor_json.push(format!(
+                    "{{ \"trace\": \"{}\", \"kind\": \"{}\", \"description\": \"{}\", \
+                     \"minimized\": \"{}\" }}",
+                    esc(&row.label),
+                    out.kind.name(),
+                    esc(&out.description),
+                    esc(&minimized)
+                ));
+                survivor_console.push(format!(
+                    "SURVIVING MUTANT [{}] on {}: {}\n  minimized: {}",
+                    out.kind.name(),
+                    row.label,
+                    out.description,
+                    minimized
+                ));
+            }
+        }
+    }
+    let survivors = mutants - killed;
+
+    // ---- report --------------------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"diaframe-bench/fuzz/v1\",");
+    let _ = writeln!(json, "  \"seed\": \"0x{seed:x}\",");
+    let _ = writeln!(json, "  \"cases\": {cases},");
+    let _ = writeln!(json, "  \"mutations_per_trace\": {mutations_per_trace},");
+    let _ = writeln!(json, "  \"provable_expected\": {provable_expected},");
+    let _ = writeln!(json, "  \"proved\": {proved_of_expected},");
+    let _ = writeln!(json, "  \"missed_provable\": {missed_provable},");
+    let _ = writeln!(json, "  \"proved_unexpected\": {},", proved_unexpected.len());
+    let _ = writeln!(json, "  \"flavors\": {{");
+    let n_flavors = flavors.len();
+    for (fi, (name, (total, proved))) in flavors.iter().enumerate() {
+        let comma = if fi + 1 == n_flavors { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{ \"cases\": {total}, \"proved\": {proved} }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"divergences\": {},", divergences.len());
+    let _ = writeln!(json, "  \"divergence_details\": [");
+    for (di, d) in divergences.iter().enumerate() {
+        let comma = if di + 1 == divergences.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{}\"{comma}", esc(d));
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"index_pass\": {{ \"compared\": {} }},",
+        proved_idx.len()
+    );
+    let _ = writeln!(json, "  \"mutation\": {{");
+    let _ = writeln!(json, "    \"traces\": {},", corpus.len());
+    let _ = writeln!(json, "    \"mutants\": {mutants},");
+    let _ = writeln!(json, "    \"killed\": {killed},");
+    let _ = writeln!(json, "    \"survivors\": {survivors},");
+    let _ = writeln!(json, "    \"by_kind\": {{");
+    for (ki, kind) in MutationKind::ALL.iter().enumerate() {
+        let (gen, kill) = by_kind[kind.name()];
+        let comma = if ki + 1 == MutationKind::ALL.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "      \"{}\": {{ \"mutants\": {gen}, \"killed\": {kill} }}{comma}",
+            kind.name()
+        );
+    }
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"survivor_details\": [");
+    for (si, s) in survivor_json.iter().enumerate() {
+        let comma = if si + 1 == survivor_json.len() { "" } else { "," };
+        let _ = writeln!(json, "    {s}{comma}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("fuzz_driver: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    } else {
+        print!("{json}");
+    }
+
+    println!("== fuzz campaign ==");
+    println!("seed 0x{seed:x} · {cases} cases · {jobs} jobs");
+    println!(
+        "search: {proved_of_expected}/{provable_expected} provable-by-construction proved \
+         ({missed_provable} completeness misses), {} unexpected proofs",
+        proved_unexpected.len()
+    );
+    println!(
+        "differential: {} divergences (telemetry, verdict, codec, spec legs + index pass \
+         over {} proved cases)",
+        divergences.len(),
+        proved_idx.len()
+    );
+    println!(
+        "mutation: {mutants} certified mutants over {} traces ({} kinds) — {killed} killed, \
+         {survivors} survivors",
+        corpus.len(),
+        MutationKind::ALL.len()
+    );
+    println!("wall: {:.2?}", t0.elapsed());
+    if let Some(path) = &json_out {
+        println!("report: {path}");
+    }
+
+    let mut failed = false;
+    for d in &divergences {
+        eprintln!("DIVERGENCE: {d}");
+        failed = true;
+    }
+    for s in &survivor_console {
+        eprintln!("{s}");
+        failed = true;
+    }
+    for i in &proved_unexpected {
+        eprintln!("UNEXPECTED PROOF: case {i} was built to be unprovable");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,113 @@
+//! A delta-debugging shrinker for failing traces.
+//!
+//! Greedy chunk removal (ddmin-style): repeatedly try deleting spans of
+//! steps, keeping any deletion that preserves the caller's
+//! "interesting" predicate, halving the span size until single steps.
+//! Deterministic — the scan order is fixed — so a shrunk regression is
+//! reproducible from the same input.
+
+use crate::trace::TraceStep;
+
+/// Shrinks `steps` to a (locally) minimal sequence still satisfying
+/// `still_interesting`. The input itself must satisfy the predicate;
+/// the result always does.
+pub fn shrink_steps(
+    steps: &[TraceStep],
+    still_interesting: &mut dyn FnMut(&[TraceStep]) -> bool,
+) -> Vec<TraceStep> {
+    debug_assert!(still_interesting(steps), "input must be interesting");
+    let mut cur = steps.to_vec();
+    let mut chunk = cur.len().max(1);
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let end = (i + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (end - i));
+            cand.extend_from_slice(&cur[..i]);
+            cand.extend_from_slice(&cur[end..]);
+            if still_interesting(&cand) {
+                cur = cand;
+                progressed = true;
+                // re-test the same position: the next chunk slid in
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            if !progressed {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker;
+    use crate::fuzz::spec::spec_check;
+    use crate::trace::ProofTrace;
+    use diaframe_logic::Namespace;
+
+    fn trace_of(steps: &[TraceStep]) -> ProofTrace {
+        let mut t = ProofTrace::new();
+        for s in steps {
+            t.push(s.clone());
+        }
+        t
+    }
+
+    #[test]
+    fn shrinks_an_invalid_trace_to_its_core() {
+        // Lots of valid padding around a single unmatched opening.
+        let ns = Namespace::new("N");
+        let mut steps = Vec::new();
+        for i in 0..6 {
+            steps.push(TraceStep::IntroVar {
+                name: format!("x{i}"),
+            });
+        }
+        steps.push(TraceStep::InvOpened { ns: ns.clone() });
+        for i in 0..6 {
+            steps.push(TraceStep::IntroHyp {
+                hyp: format!("H{i}"),
+            });
+        }
+        let mut pred =
+            |s: &[TraceStep]| checker::check(&trace_of(s)).is_err() && spec_check(s).is_err();
+        assert!(pred(&steps));
+        let small = shrink_steps(&steps, &mut pred);
+        assert_eq!(small.len(), 1, "core should be the lone opening: {small:?}");
+        assert!(matches!(&small[0], TraceStep::InvOpened { ns: n } if *n == ns));
+    }
+
+    #[test]
+    fn preserves_predicates_that_need_structure() {
+        // The interesting predicate requires a *pair* of steps; the
+        // shrinker must not break it apart.
+        let ns = Namespace::new("N");
+        let steps = vec![
+            TraceStep::ValueReached,
+            TraceStep::InvClosed { ns: ns.clone() },
+            TraceStep::ValueReached,
+            TraceStep::InvOpened { ns: ns.clone() },
+            TraceStep::ValueReached,
+        ];
+        let mut pred = |s: &[TraceStep]| {
+            // close-before-open, in that order
+            let close = s
+                .iter()
+                .position(|x| matches!(x, TraceStep::InvClosed { .. }));
+            let open = s
+                .iter()
+                .position(|x| matches!(x, TraceStep::InvOpened { .. }));
+            matches!((close, open), (Some(c), Some(o)) if c < o)
+        };
+        let small = shrink_steps(&steps, &mut pred);
+        assert_eq!(small.len(), 2);
+    }
+}

@@ -25,11 +25,16 @@
 //! * an opt-in [`telemetry`] layer counts hint probes, rule applications,
 //!   backtracks and checker replays, times the search phases, and feeds
 //!   the structured stuck diagnostics of
-//!   [`report::Stuck::render_explain`] — at zero cost when disabled.
+//!   [`report::Stuck::render_explain`] — at zero cost when disabled;
+//! * a deterministic [`fuzz`] harness stress-tests the checker (the
+//!   trusted computing base) with generated entailments, a differential
+//!   oracle across every verdict path, and an adversarial trace mutator
+//!   whose certified-invalid mutants the checker must all reject.
 
 pub mod checker;
 pub mod ctx;
 pub mod driver;
+pub mod fuzz;
 pub mod goal;
 pub mod hint;
 pub mod index;

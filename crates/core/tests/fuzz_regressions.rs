@@ -1,0 +1,179 @@
+//! Minimized regressions from the soundness-fuzzing campaign.
+//!
+//! Each fixture is the shrunken form of an adversarial trace mutant (or
+//! a hand-derived minimal cousin) that probes a checker rule the
+//! original example-suite traces never exercised adversarially. They
+//! are committed so the rules can never regress silently: every
+//! rejection here is a soundness obligation, not a style preference.
+//!
+//! Provenance note: the `fuzz_driver` campaign at the CI seed currently
+//! kills every certified mutant, so these fixtures were minimized with
+//! `diaframe_core::fuzz::shrink_steps` from *would-be* survivors of
+//! deliberately weakened checker builds (each family below was found to
+//! depend on exactly one guard while developing the mutator).
+
+use diaframe_core::checker::{self, CheckError};
+use diaframe_core::fuzz::trace_of_steps;
+use diaframe_core::TraceStep;
+use diaframe_logic::Namespace;
+use diaframe_term::{PureProp, Sort, Term, VarCtx};
+
+fn ns(s: &str) -> Namespace {
+    Namespace::new(s)
+}
+
+/// The truncate-after-open family, minimized: a lone `InvOpened` with
+/// no matching close must be rejected at end of trace.
+#[test]
+fn open_invariant_at_end_of_trace_is_rejected() {
+    let steps = vec![TraceStep::InvOpened { ns: ns("N") }];
+    let err = checker::check(&trace_of_steps(&steps)).unwrap_err();
+    assert!(
+        err.message.contains("open"),
+        "unexpected rejection reason: {}",
+        err.message
+    );
+}
+
+/// The same family inside a branch: the leak must be caught at the
+/// `BranchEnd` boundary, not deferred to the end of the trace.
+#[test]
+fn open_invariant_at_branch_end_is_rejected() {
+    let steps = vec![
+        TraceStep::CaseSplit {
+            on: "b".into(),
+            branches: 1,
+        },
+        TraceStep::BranchStart { index: 0 },
+        TraceStep::InvOpened { ns: ns("N") },
+        TraceStep::BranchEnd { index: 0 },
+    ];
+    let err = checker::check(&trace_of_steps(&steps)).unwrap_err();
+    // The violation is the branch's final step.
+    assert_eq!(err.step, 3);
+}
+
+/// …but a *vacuous* branch (one that derived `False`) may abandon its
+/// obligations: `ex falso` discharges the close. This is the exemption
+/// the `drop-step` mutant family kept colliding with until the checker
+/// tracked vacuity per frame.
+#[test]
+fn vacuous_branch_may_abandon_an_open_invariant() {
+    let steps = vec![
+        TraceStep::CaseSplit {
+            on: "b".into(),
+            branches: 1,
+        },
+        TraceStep::BranchStart { index: 0 },
+        TraceStep::InvOpened { ns: ns("N") },
+        TraceStep::Contradiction {
+            rule: "locked-unique".into(),
+        },
+        TraceStep::BranchEnd { index: 0 },
+    ];
+    assert!(checker::check(&trace_of_steps(&steps)).is_ok());
+}
+
+/// The widen-mask family, minimized: closing a namespace that is not
+/// the one that was opened must be rejected — accepting it would let a
+/// proof re-enter the still-open invariant (the reentrancy §3.3 guards
+/// against).
+#[test]
+fn closing_a_different_namespace_is_rejected() {
+    let steps = vec![
+        TraceStep::InvOpened { ns: ns("M") },
+        TraceStep::InvClosed { ns: ns("N") },
+    ];
+    let err = checker::check(&trace_of_steps(&steps)).unwrap_err();
+    assert_eq!(err.step, 1);
+}
+
+/// The reorder family, minimized: a close *before* its open is not a
+/// balanced window, even though the multiset of steps matches a valid
+/// trace exactly.
+#[test]
+fn close_before_open_is_rejected() {
+    let steps = vec![
+        TraceStep::InvClosed { ns: ns("N") },
+        TraceStep::InvOpened { ns: ns("N") },
+    ];
+    let err = checker::check(&trace_of_steps(&steps)).unwrap_err();
+    assert_eq!(err.step, 0);
+}
+
+/// The duplicate-step family on invariant opens: opening the same
+/// namespace twice in one window is the reentrancy hole itself.
+#[test]
+fn reopening_an_open_namespace_is_rejected() {
+    let steps = vec![
+        TraceStep::InvOpened { ns: ns("N") },
+        TraceStep::InvOpened { ns: ns("N") },
+        TraceStep::InvClosed { ns: ns("N") },
+        TraceStep::InvClosed { ns: ns("N") },
+    ];
+    let err = checker::check(&trace_of_steps(&steps)).unwrap_err();
+    assert_eq!(err.step, 1);
+}
+
+/// The corrupt-evar family, minimized: a recorded pure obligation whose
+/// variable snapshot carries a *wrong* evar solution must fail
+/// re-validation. (The fuzz generator emits the healthy twin of this
+/// fixture; the mutant bumps the solution by one.)
+#[test]
+fn corrupted_evar_solution_fails_reproof() {
+    let mut vars = VarCtx::new();
+    let e = vars.push_raw_evar(Sort::Int, 0, Some(Term::int(4)));
+    let healthy = TraceStep::PureObligation {
+        facts: Vec::new(),
+        goal: PureProp::eq(Term::evar(e), Term::int(3)),
+        vars: vars.clone(),
+    };
+    // goal says ?e = 3 but the snapshot solves ?e := 4.
+    let err = checker::check(&trace_of_steps(&[healthy])).unwrap_err();
+    assert_eq!(err.step, 0);
+
+    let mut vars = VarCtx::new();
+    let e = vars.push_raw_evar(Sort::Int, 0, Some(Term::int(3)));
+    let healthy = TraceStep::PureObligation {
+        facts: Vec::new(),
+        goal: PureProp::eq(Term::evar(e), Term::int(3)),
+        vars,
+    };
+    assert!(checker::check(&trace_of_steps(&[healthy])).is_ok());
+}
+
+/// The retarget-hyp family, minimized: an obligation whose fact list
+/// was swapped out from under it must fail — the checker re-proves from
+/// the *recorded* facts, not from trust.
+#[test]
+fn obligation_with_retargeted_facts_fails_reproof() {
+    let mut vars = VarCtx::new();
+    let x = vars.fresh_var(Sort::Int, "x");
+    let steps = vec![TraceStep::PureObligation {
+        facts: vec![PureProp::lt(Term::int(5), Term::var(x))],
+        goal: PureProp::lt(Term::var(x), Term::int(5)),
+        vars,
+    }];
+    let err = checker::check(&trace_of_steps(&steps)).unwrap_err();
+    assert_eq!(err.step, 0);
+}
+
+/// The unbalance-branch family, minimized: a `BranchStart` with no
+/// enclosing `CaseSplit` never completes, so the checker reports the
+/// dangling branch at the end-of-trace boundary (one past the last
+/// step).
+#[test]
+fn orphan_branch_start_is_rejected() {
+    let steps = vec![TraceStep::BranchStart { index: 0 }];
+    let err = checker::check(&trace_of_steps(&steps)).unwrap_err();
+    assert_eq!(err.step, steps.len());
+}
+
+/// Malformed certificate text is a *decode* failure, reported on the
+/// `DECODE_STEP` sentinel — never conflated with a replay step index.
+#[test]
+fn malformed_json_uses_the_decode_sentinel() {
+    let err = checker::check_json("{ not json").unwrap_err();
+    assert_eq!(err.step, CheckError::DECODE_STEP);
+    assert!(err.is_decode());
+}
