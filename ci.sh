@@ -7,11 +7,14 @@
 #      parallel/serial and indexed/linear equivalence tests)
 #   4. clippy, warnings-as-errors, across every target
 #   5. a full `figure6 --all` report run, writing the machine-readable
-#      timing snapshot to target/BENCH_figure6.json
+#      timing snapshot to target/BENCH_figure6.json, followed by the
+#      perf-regression gate: aggregate search_ms must stay within 2x of
+#      the committed BENCH_figure6.json
 #   6. the telemetry smoke gate: the same run with a file sink attached
-#      must produce a v2 snapshot with non-zero counters, the
-#      telemetry-on/off trace-equivalence test must hold, and
-#      `figure6 --explain` must render a structured stuck report
+#      must produce a v3 snapshot with non-zero counters (including the
+#      term-interner hit/miss counters), the telemetry-on/off
+#      trace-equivalence test must hold, and `figure6 --explain` must
+#      render a structured stuck report
 #   7. the soundness-fuzzing smoke gate: a fixed-seed fuzz_driver
 #      campaign must report zero differential divergences and zero
 #      surviving trace mutants, and two runs at the same seed must
@@ -29,14 +32,34 @@ cargo test --workspace --release -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out target/BENCH_figure6.json
 
+# --- perf-regression gate (see EXPERIMENTS.md "Performance") -------------
+# Aggregate search_ms of the fresh run must stay within 2x of the
+# committed snapshot. The 2x headroom absorbs machine noise (the suite
+# runs on wildly different hardware); a real regression from an
+# accidentally quadratic hot path blows well past it.
+aggregate_search_ms() {
+  grep -o '"search_ms": [0-9.]*' "$1" | awk -F': ' '{s+=$2} END {printf "%.3f", s}'
+}
+baseline_ms=$(aggregate_search_ms BENCH_figure6.json)
+current_ms=$(aggregate_search_ms target/BENCH_figure6.json)
+awk -v cur="$current_ms" -v base="$baseline_ms" 'BEGIN {
+  if (cur > 2.0 * base) {
+    printf "ci: perf regression: aggregate search_ms %.3f > 2x committed baseline %.3f\n", cur, base
+    exit 1
+  }
+  printf "ci: perf gate ok: aggregate search_ms %.3f (committed baseline %.3f)\n", cur, base
+}'
+
 # --- telemetry smoke gate (see README "Observability") -------------------
 # The run above is telemetry-off; re-run with the file sink on and check
 # the v2 schema fields are present with non-zero counters.
 rm -f target/telemetry.jsonl
 DIAFRAME_TELEMETRY=target/telemetry.jsonl \
   cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out target/BENCH_figure6_telemetry.json > /dev/null
-grep -q '"schema": "diaframe-bench/figure6/v2"' target/BENCH_figure6_telemetry.json
+grep -q '"schema": "diaframe-bench/figure6/v3"' target/BENCH_figure6_telemetry.json
 grep -q '"telemetry": { "probes_attempted": [1-9]' target/BENCH_figure6_telemetry.json
+grep -q '"interner_hits": [1-9]' target/BENCH_figure6_telemetry.json
+grep -q '"zonk_cache_hits": [0-9]' target/BENCH_figure6_telemetry.json
 grep -q '"event":"summary"' target/telemetry.jsonl
 grep -q '"event":"span"' target/telemetry.jsonl
 # Telemetry on vs off must be byte-identical in every trace and table

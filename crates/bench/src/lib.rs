@@ -344,14 +344,18 @@ fn ms(d: Duration) -> String {
 }
 
 /// Serializes the Figure 6 run as JSON (schema
-/// `diaframe-bench/figure6/v2`) for committing as a `BENCH_*.json`
+/// `diaframe-bench/figure6/v3`) for committing as a `BENCH_*.json`
 /// snapshot: per-example search/check/total timings and search-effort
 /// counters, the run's worker count, stack size, wall-clock, cache
 /// accounting, and the suite-wide counter aggregate.
 ///
 /// v2 extends v1 with the `telemetry` blocks (one per example, one
 /// aggregated); every v1 field is unchanged, so v1 consumers that
-/// ignore unknown keys keep working.
+/// ignore unknown keys keep working. v3 adds the term-interner
+/// counters (`interner_hits`/`interner_misses`/`zonk_cache_hits`/
+/// `normalize_cache_hits`) to every telemetry block; timings in a v3
+/// snapshot are measured with the hash-consing interner active and are
+/// not comparable to v2 timings run without it.
 ///
 /// # Panics
 ///
@@ -368,7 +372,7 @@ pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
         aggregate.merge(&m.counters);
     }
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/figure6/v2\",");
+    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/figure6/v3\",");
     let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(
         out,

@@ -1,0 +1,68 @@
+//! The hash-consing interner must be a pure accelerator: running the
+//! search with the term arena and its zonk/normalize/pure-entailment
+//! memos active must produce byte-identical proof traces to the legacy
+//! structural path, example by example, across the whole Figure 6
+//! suite. This is the same guarantee the soundness-fuzzing oracle
+//! demands of its codecs — exercised here on the real examples.
+
+use diaframe_core::trace_json;
+use diaframe_examples::all_examples;
+use diaframe_term::intern;
+
+/// Verifies every Figure 6 example twice — interner on, then forced
+/// off — and demands byte-identical trace JSON from both runs. The
+/// interned traces are also replayed through the independent checker
+/// from their JSON form, so the comparison covers the exact bytes a
+/// `--json-out` consumer would see.
+#[test]
+fn interned_and_structural_traces_are_byte_identical() {
+    let examples = all_examples();
+    let mut compared_proofs = 0usize;
+    for ex in &examples {
+        let interned = ex
+            .verify()
+            .unwrap_or_else(|e| panic!("{} (intern on): {e}", ex.name()));
+
+        // Process-global switch: any example verified concurrently by
+        // another test in this binary simply runs structurally too,
+        // which is exactly the equivalence under test.
+        intern::force_disable(true);
+        let structural = ex.verify();
+        intern::force_disable(false);
+        let structural =
+            structural.unwrap_or_else(|e| panic!("{} (intern off): {e}", ex.name()));
+
+        assert_eq!(
+            interned.manual_steps,
+            structural.manual_steps,
+            "{}: manual-step count changed",
+            ex.name()
+        );
+        assert_eq!(
+            interned.proofs.len(),
+            structural.proofs.len(),
+            "{}: proof count changed",
+            ex.name()
+        );
+        for (a, b) in interned.proofs.iter().zip(&structural.proofs) {
+            assert_eq!(a.name, b.name, "{}", ex.name());
+            let ja = trace_json::trace_to_json(&a.trace);
+            let jb = trace_json::trace_to_json(&b.trace);
+            assert_eq!(
+                ja,
+                jb,
+                "{}/{}: trace JSON differs between interned and structural runs",
+                ex.name(),
+                a.name
+            );
+            diaframe_core::checker::check_json(&ja).unwrap_or_else(|e| {
+                panic!("{}/{}: interned trace fails replay: {e}", ex.name(), a.name)
+            });
+            compared_proofs += 1;
+        }
+    }
+    assert!(
+        compared_proofs >= 24,
+        "expected at least one proof per example, compared {compared_proofs}"
+    );
+}

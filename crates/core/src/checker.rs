@@ -239,7 +239,13 @@ fn replay(steps: &[TraceStep]) -> Result<(), CheckError> {
 pub fn check(trace: &ProofTrace) -> Result<(), CheckError> {
     let _span = crate::telemetry::span("check");
     crate::telemetry::checker_steps(trace.len() as u64);
-    replay(trace.steps())
+    // Replay gets its own interner scope (nested scopes restore the
+    // outer arena on drop): one trace replays against one arena.
+    let intern_scope = diaframe_term::intern::scope();
+    let result = replay(trace.steps());
+    crate::telemetry::intern_stats(diaframe_term::intern::stats());
+    drop(intern_scope);
+    result
 }
 
 /// Decodes a JSON-lines trace (see [`crate::trace_json`]) and replays

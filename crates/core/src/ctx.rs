@@ -48,6 +48,17 @@ pub struct ProofCtx {
     /// when the branch completes).
     pub pending_pure: Vec<PureProp>,
     next_hyp: u32,
+    /// Revision counter for `facts`, bumped by every mutation
+    /// ([`ProofCtx::add_fact`], [`ProofCtx::truncate_facts`], the
+    /// substitution/zonking rewrites). `facts` must only be mutated
+    /// through those methods; reads are unrestricted. Keys the cached
+    /// pure solver below.
+    facts_rev: u64,
+    /// The last pure solver built over `facts`, with the revision it was
+    /// built at. Rebuilding the solver used to dominate `prove_pure` —
+    /// every call re-flattened and re-cloned every fact even though the
+    /// fact list changes far more rarely than it is queried.
+    solver_cache: Option<(u64, PureSolver)>,
 }
 
 impl ProofCtx {
@@ -63,6 +74,8 @@ impl ProofCtx {
             syms: SymTable::new(),
             pending_pure: Vec::new(),
             next_hyp: 0,
+            facts_rev: 0,
+            solver_cache: None,
         }
     }
 
@@ -70,6 +83,19 @@ impl ProofCtx {
     pub fn add_fact(&mut self, p: PureProp) {
         if p != PureProp::True {
             self.facts.push(p);
+            self.facts_rev += 1;
+        }
+    }
+
+    /// Truncates `Γ` back to a previously recorded length (probe-loop
+    /// rollback). All fact mutations must go through `ProofCtx` methods so
+    /// the cached solver is invalidated — see [`ProofCtx::facts_rev`].
+    ///
+    /// [`ProofCtx::facts_rev`]: field@ProofCtx::facts_rev
+    pub fn truncate_facts(&mut self, len: usize) {
+        if len < self.facts.len() {
+            self.facts.truncate(len);
+            self.facts_rev += 1;
         }
     }
 
@@ -97,22 +123,38 @@ impl ProofCtx {
         PureSolver::new(&self.facts)
     }
 
+    /// Rebuilds the cached solver if `facts` changed since it was built.
+    fn refresh_solver(&mut self) {
+        if self.solver_cache.as_ref().map(|(rev, _)| *rev) != Some(self.facts_rev) {
+            self.solver_cache = Some((self.facts_rev, PureSolver::new(&self.facts)));
+        }
+    }
+
     /// Proves a pure proposition from `Γ` (may instantiate evars).
     pub fn prove_pure(&mut self, goal: &PureProp) -> bool {
-        let solver = PureSolver::new(&self.facts);
+        self.refresh_solver();
+        let Some((_, solver)) = &self.solver_cache else {
+            unreachable!("refresh_solver always fills the cache")
+        };
         solver.prove(&mut self.vars, goal)
     }
 
     /// Proves a pure proposition without instantiating evars (for
     /// disjunction guards, §5.3).
     pub fn prove_pure_frozen(&mut self, goal: &PureProp) -> bool {
-        let solver = PureSolver::new(&self.facts);
+        self.refresh_solver();
+        let Some((_, solver)) = &self.solver_cache else {
+            unreachable!("refresh_solver always fills the cache")
+        };
         solver.prove_frozen(&mut self.vars, goal)
     }
 
     /// Whether `Γ` is contradictory.
     pub fn inconsistent(&mut self) -> bool {
-        let solver = PureSolver::new(&self.facts);
+        self.refresh_solver();
+        let Some((_, solver)) = &self.solver_cache else {
+            unreachable!("refresh_solver always fills the cache")
+        };
         solver.inconsistent(&mut self.vars)
     }
 
@@ -121,6 +163,7 @@ impl ProofCtx {
     /// `⌜x = t⌝` with `x` a variable.
     pub fn substitute_var(&mut self, v: VarId, t: &Term) {
         let s = Subst::single(v, t.clone());
+        self.facts_rev += 1;
         for f in &mut self.facts {
             *f = f.subst(&s);
         }
@@ -134,14 +177,15 @@ impl ProofCtx {
     /// Zonks all hypotheses and facts (resolving solved evars), keeping
     /// displays and matching fast paths precise.
     pub fn zonk_all(&mut self) {
-        let vars = self.vars.clone();
+        self.facts_rev += 1;
+        let vars = &self.vars;
         for f in &mut self.facts {
-            *f = f.zonk(&vars);
+            *f = f.zonk(vars);
         }
         for h in &mut self.delta {
-            h.assertion = h.assertion.zonk(&vars);
+            h.assertion = h.assertion.zonk(vars);
         }
-        self.syms.map_terms(|t| t.zonk(&vars));
+        self.syms.map_terms(|t| t.zonk(vars));
     }
 }
 

@@ -175,7 +175,7 @@ fn find_hint_inner(
             crate::telemetry::probe_failed(&ctx.delta[idx].name);
             ctx.vars.rollback(&vmark);
             ctx.masks.rollback(&mmark);
-            ctx.facts.truncate(fmark);
+            ctx.truncate_facts(fmark);
         }
     }
     // ε₁ last-resort hints.

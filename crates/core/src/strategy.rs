@@ -24,6 +24,7 @@ use diaframe_heaplang::step::head_step;
 use diaframe_heaplang::{BinOp, Expr, Heap, UnOp, Val};
 use diaframe_logic::{Assertion, Atom, Binder, Mask, MaskT, Namespace, WpPost};
 use diaframe_term::{PureProp, Sort, Subst, Sym, Term, VarId};
+use std::sync::Arc;
 
 /// The proof search engine for one verification.
 pub struct Engine<'a> {
@@ -272,7 +273,7 @@ impl<'a> Engine<'a> {
     /// §5.2 and item 1 of §3.3), then continues with `cont`.
     fn intro_hyps(&mut self, mut ctx: ProofCtx, mut pending: Vec<Assertion>, mut cont: Goal) -> Solved {
         while let Some(u) = pending.pop() {
-            let u = u.zonk(&ctx.vars);
+            let u = u.zonk_owned(&ctx.vars);
             match u {
                 Assertion::Pure(p) => {
                     if p == PureProp::True {
@@ -391,7 +392,7 @@ impl<'a> Engine<'a> {
         atom: Atom,
         pending: &mut Vec<Assertion>,
     ) -> Option<Result<(), Box<Stuck>>> {
-        let atom = atom.zonk(&ctx.vars);
+        let atom = atom.zonk_owned(&ctx.vars);
         match &atom {
             Atom::Ghost(g) => {
                 if let Some(lib) = self.registry.library_for(g.kind) {
@@ -616,7 +617,7 @@ impl<'a> Engine<'a> {
         lhs: Assertion,
         cont: Goal,
     ) -> Solved {
-        let lhs = lhs.zonk(&ctx.vars);
+        let lhs = lhs.zonk_owned(&ctx.vars);
         match lhs {
             // 5a: pure goals.
             Assertion::Pure(p) => {
@@ -913,7 +914,7 @@ impl<'a> Engine<'a> {
                     };
                     return self.case_split_tactic(ctx, name, prop, goal);
                 }
-                let atom = atom.zonk(&ctx.vars);
+                let atom = atom.zonk_owned(&ctx.vars);
                 let head = crate::index::goal_head(&atom, &ctx.preds);
                 let goal = Goal::SynFupd {
                     from: MaskT::Concrete(from),
@@ -1204,7 +1205,7 @@ impl<'a> Engine<'a> {
                 let t = ctx.syms.resolve(*id).zonk(&ctx.vars);
                 if let Term::App(Sym::VInt, args) = &t {
                     let out = Term::v_int(Term::neg(args[0].clone()));
-                    let v = ctx.syms.term_to_val(&ctx.vars.clone(), &out);
+                    let v = ctx.syms.term_to_val(&ctx.vars, &out);
                     self.push_step(TraceStep::PureStep { rule: "neg-sym" });
                     return self.wp_goal(ctx, fill_ctx(&k, Expr::Val(v)), mask, post, then);
                 }
@@ -1288,7 +1289,7 @@ impl<'a> Engine<'a> {
                     BinOp::Sub => Term::sub(a, b),
                     _ => Term::mul(a, b),
                 };
-                let v = ctx.syms.term_to_val(&ctx.vars.clone(), &Term::v_int(out));
+                let v = ctx.syms.term_to_val(&ctx.vars, &Term::v_int(out));
                 self.push_step(TraceStep::PureStep { rule: "arith-sym" });
                 self.wp_goal(ctx, fill_ctx(&k, Expr::Val(v)), mask, post, then)
             }
@@ -1436,10 +1437,7 @@ impl<'a> Engine<'a> {
             return Err(self.stuck(&ctx, "wp mask unresolved", &g));
         };
         ctx.vars.push_level();
-        let wval = {
-            let vars = ctx.vars.clone();
-            ctx.syms.term_to_val(&vars, &Term::var(w))
-        };
+        let wval = ctx.syms.term_to_val(&ctx.vars, &Term::var(w));
         let to = if atomic {
             MaskT::EVar(ctx.masks.fresh())
         } else {
@@ -1721,17 +1719,17 @@ fn resolve_redex(ctx: &mut ProofCtx, e: Expr) -> Expr {
     }
     match e {
         Expr::App(f, a) => Expr::app(res(ctx, &f), res(ctx, &a)),
-        Expr::UnOp(op, a) => Expr::UnOp(op, Box::new(res(ctx, &a))),
+        Expr::UnOp(op, a) => Expr::UnOp(op, Arc::new(res(ctx, &a))),
         Expr::BinOp(op, a, b) => Expr::binop(op, res(ctx, &a), res(ctx, &b)),
-        Expr::If(c, t, f) => Expr::if_(res(ctx, &c), *t, *f),
-        Expr::Pair(a, b) => Expr::Pair(Box::new(res(ctx, &a)), Box::new(res(ctx, &b))),
-        Expr::Fst(a) => Expr::Fst(Box::new(res(ctx, &a))),
-        Expr::Snd(a) => Expr::Snd(Box::new(res(ctx, &a))),
-        Expr::InjL(a) => Expr::InjL(Box::new(res(ctx, &a))),
-        Expr::InjR(a) => Expr::InjR(Box::new(res(ctx, &a))),
-        Expr::Case(s, l, r) => Expr::Case(Box::new(res(ctx, &s)), l, r),
-        Expr::Alloc(a) => Expr::Alloc(Box::new(res(ctx, &a))),
-        Expr::Load(a) => Expr::Load(Box::new(res(ctx, &a))),
+        Expr::If(c, t, f) => Expr::If(Arc::new(res(ctx, &c)), t, f),
+        Expr::Pair(a, b) => Expr::Pair(Arc::new(res(ctx, &a)), Arc::new(res(ctx, &b))),
+        Expr::Fst(a) => Expr::Fst(Arc::new(res(ctx, &a))),
+        Expr::Snd(a) => Expr::Snd(Arc::new(res(ctx, &a))),
+        Expr::InjL(a) => Expr::InjL(Arc::new(res(ctx, &a))),
+        Expr::InjR(a) => Expr::InjR(Arc::new(res(ctx, &a))),
+        Expr::Case(s, l, r) => Expr::Case(Arc::new(res(ctx, &s)), l, r),
+        Expr::Alloc(a) => Expr::Alloc(Arc::new(res(ctx, &a))),
+        Expr::Load(a) => Expr::Load(Arc::new(res(ctx, &a))),
         Expr::Store(a, b) => Expr::store(res(ctx, &a), res(ctx, &b)),
         Expr::Cas(a, b, c) => Expr::cas(res(ctx, &a), res(ctx, &b), res(ctx, &c)),
         Expr::Faa(a, b) => Expr::faa(res(ctx, &a), res(ctx, &b)),
@@ -1745,8 +1743,7 @@ fn resolve_val(ctx: &mut ProofCtx, v: &Val) -> Val {
     match v {
         Val::Sym(id) => {
             let t = ctx.syms.resolve(*id).clone();
-            let vars = ctx.vars.clone();
-            ctx.syms.term_to_val(&vars, &t)
+            ctx.syms.term_to_val(&ctx.vars, &t)
         }
         Val::Pair(a, b) => Val::pair(resolve_val(ctx, a), resolve_val(ctx, b)),
         Val::InjL(a) => Val::inj_l(resolve_val(ctx, a)),
@@ -1791,7 +1788,7 @@ fn decompose_ctor_eq(p: &PureProp) -> Option<Vec<PureProp>> {
     }
     Some(
         xs.iter()
-            .zip(ys)
+            .zip(ys.iter())
             .map(|(x, y)| PureProp::eq(x.clone(), y.clone()))
             .collect(),
     )

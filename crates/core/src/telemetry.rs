@@ -63,6 +63,10 @@ struct Counters {
     deepest_abandoned: AtomicU64,
     evar_solve_events: AtomicU64,
     checker_steps: AtomicU64,
+    interner_hits: AtomicU64,
+    interner_misses: AtomicU64,
+    zonk_cache_hits: AtomicU64,
+    normalize_cache_hits: AtomicU64,
     steps_by_kind: [AtomicU64; TraceKind::COUNT],
 }
 
@@ -99,6 +103,16 @@ pub struct CounterSnapshot {
     pub evar_solve_events: u64,
     /// Steps replayed by the independent [`crate::checker`].
     pub checker_steps: u64,
+    /// Term-interner requests answered from the arena (see
+    /// [`diaframe_term::intern`]).
+    pub interner_hits: u64,
+    /// Term-interner requests that allocated a new arena entry.
+    pub interner_misses: u64,
+    /// Zonk requests answered from the generation-keyed memo table
+    /// (including constant-time answers for evar-free terms).
+    pub zonk_cache_hits: u64,
+    /// Linear-arithmetic normalisations answered from the memo table.
+    pub normalize_cache_hits: u64,
     /// Rule applications by [`TraceKind`] (indexed by
     /// [`TraceKind::index`]); monotonic, so steps of abandoned branches
     /// stay counted — this measures effort, not trace length.
@@ -157,6 +171,10 @@ impl CounterSnapshot {
         self.deepest_abandoned = self.deepest_abandoned.max(other.deepest_abandoned);
         self.evar_solve_events += other.evar_solve_events;
         self.checker_steps += other.checker_steps;
+        self.interner_hits += other.interner_hits;
+        self.interner_misses += other.interner_misses;
+        self.zonk_cache_hits += other.zonk_cache_hits;
+        self.normalize_cache_hits += other.normalize_cache_hits;
         for (a, b) in self.steps_by_kind.iter_mut().zip(other.steps_by_kind.iter()) {
             *a += *b;
         }
@@ -178,6 +196,10 @@ impl CounterSnapshot {
             deepest_abandoned: 0,
             evar_solve_events: self.evar_solve_events - before.evar_solve_events,
             checker_steps: self.checker_steps - before.checker_steps,
+            interner_hits: self.interner_hits - before.interner_hits,
+            interner_misses: self.interner_misses - before.interner_misses,
+            zonk_cache_hits: self.zonk_cache_hits - before.zonk_cache_hits,
+            normalize_cache_hits: self.normalize_cache_hits - before.normalize_cache_hits,
             steps_by_kind: [0; TraceKind::COUNT],
         };
         if self.deepest_abandoned > before.deepest_abandoned {
@@ -241,7 +263,8 @@ impl CounterSnapshot {
             "{{ \"probes_attempted\": {}, \"probes_skipped\": {}, \"probes_indexed_hit\": {}, \
              \"probes_matched\": {}, \"hint_misses\": {}, \"backtracks\": {}, \
              \"deepest_abandoned\": {}, \"evar_solve_events\": {}, \"checker_steps\": {}, \
-             \"steps_by_kind\": {{",
+             \"interner_hits\": {}, \"interner_misses\": {}, \"zonk_cache_hits\": {}, \
+             \"normalize_cache_hits\": {}, \"steps_by_kind\": {{",
             self.probes_attempted,
             self.probes_skipped,
             self.probes_indexed_hit,
@@ -251,6 +274,10 @@ impl CounterSnapshot {
             self.deepest_abandoned,
             self.evar_solve_events,
             self.checker_steps,
+            self.interner_hits,
+            self.interner_misses,
+            self.zonk_cache_hits,
+            self.normalize_cache_hits,
         );
         for (i, kind) in TraceKind::ALL.into_iter().enumerate() {
             if i > 0 {
@@ -526,6 +553,10 @@ impl TelemetrySession {
             deepest_abandoned: c.deepest_abandoned.load(Ordering::Relaxed),
             evar_solve_events: c.evar_solve_events.load(Ordering::Relaxed),
             checker_steps: c.checker_steps.load(Ordering::Relaxed),
+            interner_hits: c.interner_hits.load(Ordering::Relaxed),
+            interner_misses: c.interner_misses.load(Ordering::Relaxed),
+            zonk_cache_hits: c.zonk_cache_hits.load(Ordering::Relaxed),
+            normalize_cache_hits: c.normalize_cache_hits.load(Ordering::Relaxed),
             steps_by_kind: steps,
         }
     }
@@ -820,6 +851,29 @@ pub(crate) fn evar_solves(delta: u64) {
 pub(crate) fn checker_steps(n: u64) {
     with_session(|s| {
         s.counters.checker_steps.fetch_add(n, Ordering::Relaxed);
+    });
+}
+
+/// Folds one interner scope's hit/miss counters into the session (called
+/// by the verification and checker entry points at scope end).
+#[inline]
+pub(crate) fn intern_stats(stats: diaframe_term::intern::InternStats) {
+    if stats == diaframe_term::intern::InternStats::default() {
+        return;
+    }
+    with_session(|s| {
+        s.counters
+            .interner_hits
+            .fetch_add(stats.interner_hits, Ordering::Relaxed);
+        s.counters
+            .interner_misses
+            .fetch_add(stats.interner_misses, Ordering::Relaxed);
+        s.counters
+            .zonk_cache_hits
+            .fetch_add(stats.zonk_cache_hits, Ordering::Relaxed);
+        s.counters
+            .normalize_cache_hits
+            .fetch_add(stats.normalize_cache_hits, Ordering::Relaxed);
     });
 }
 

@@ -526,7 +526,7 @@ fn term_from_json(v: &Json) -> Result<Term, JsonError> {
                 args.len()
             ));
         }
-        return Ok(Term::App(sym, args));
+        return Ok(Term::App(sym, args.into()));
     }
     err(format!("unrecognized term {obj:?}"))
 }

@@ -154,6 +154,24 @@ fn verify_inner(
     registry: &Registry,
     specs: &SpecTable,
     opts: &VerifyOptions,
+    ctx: ProofCtx,
+    spec: &Spec,
+) -> Result<VerifiedProof, Box<Stuck>> {
+    // One interner scope per specification: the whole search shares one
+    // hash-consing arena and its zonk/normalize memo tables, and the
+    // hit/miss counters it reports stay deterministic per spec no matter
+    // how worker threads are reused across examples.
+    let intern_scope = diaframe_term::intern::scope();
+    let result = verify_goal(registry, specs, opts, ctx, spec);
+    crate::telemetry::intern_stats(diaframe_term::intern::stats());
+    drop(intern_scope);
+    result
+}
+
+fn verify_goal(
+    registry: &Registry,
+    specs: &SpecTable,
+    opts: &VerifyOptions,
     mut ctx: ProofCtx,
     spec: &Spec,
 ) -> Result<VerifiedProof, Box<Stuck>> {

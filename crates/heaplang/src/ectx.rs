@@ -7,6 +7,7 @@
 
 use crate::expr::{BinOp, Expr, UnOp};
 use crate::value::Val;
+use std::sync::Arc;
 
 /// One evaluation-context frame (an expression with a single hole).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,19 +65,19 @@ impl Frame {
         match self {
             Frame::AppL(v) => Expr::app(e, Expr::Val(v.clone())),
             Frame::AppR(f) => Expr::app(f.clone(), e),
-            Frame::UnOp(op) => Expr::UnOp(*op, Box::new(e)),
+            Frame::UnOp(op) => Expr::UnOp(*op, Arc::new(e)),
             Frame::BinOpL(op, v) => Expr::binop(*op, e, Expr::Val(v.clone())),
             Frame::BinOpR(op, l) => Expr::binop(*op, l.clone(), e),
             Frame::If(t, f) => Expr::if_(e, t.clone(), f.clone()),
-            Frame::PairL(v) => Expr::Pair(Box::new(e), Box::new(Expr::Val(v.clone()))),
-            Frame::PairR(l) => Expr::Pair(Box::new(l.clone()), Box::new(e)),
-            Frame::Fst => Expr::Fst(Box::new(e)),
-            Frame::Snd => Expr::Snd(Box::new(e)),
-            Frame::InjL => Expr::InjL(Box::new(e)),
-            Frame::InjR => Expr::InjR(Box::new(e)),
-            Frame::Case(l, r) => Expr::Case(Box::new(e), Box::new(l.clone()), Box::new(r.clone())),
-            Frame::Alloc => Expr::Alloc(Box::new(e)),
-            Frame::Load => Expr::Load(Box::new(e)),
+            Frame::PairL(v) => Expr::Pair(Arc::new(e), Arc::new(Expr::Val(v.clone()))),
+            Frame::PairR(l) => Expr::Pair(Arc::new(l.clone()), Arc::new(e)),
+            Frame::Fst => Expr::Fst(Arc::new(e)),
+            Frame::Snd => Expr::Snd(Arc::new(e)),
+            Frame::InjL => Expr::InjL(Arc::new(e)),
+            Frame::InjR => Expr::InjR(Arc::new(e)),
+            Frame::Case(l, r) => Expr::Case(Arc::new(e), Arc::new(l.clone()), Arc::new(r.clone())),
+            Frame::Alloc => Expr::Alloc(Arc::new(e)),
+            Frame::Load => Expr::Load(Arc::new(e)),
             Frame::StoreL(v) => Expr::store(e, Expr::Val(v.clone())),
             Frame::StoreR(l) => Expr::store(l.clone(), e),
             Frame::CasL(v1, v2) => {

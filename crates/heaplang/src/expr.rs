@@ -83,41 +83,41 @@ pub enum Expr {
         /// The argument name (`None` when unused).
         x: Option<String>,
         /// The function body.
-        body: Box<Expr>,
+        body: Arc<Expr>,
     },
     /// Application (arguments evaluate right-to-left, as in HeapLang).
-    App(Box<Expr>, Box<Expr>),
+    App(Arc<Expr>, Arc<Expr>),
     /// A unary operation.
-    UnOp(UnOp, Box<Expr>),
+    UnOp(UnOp, Arc<Expr>),
     /// A binary operation.
-    BinOp(BinOp, Box<Expr>, Box<Expr>),
+    BinOp(BinOp, Arc<Expr>, Arc<Expr>),
     /// A conditional.
-    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    If(Arc<Expr>, Arc<Expr>, Arc<Expr>),
     /// Pair construction.
-    Pair(Box<Expr>, Box<Expr>),
+    Pair(Arc<Expr>, Arc<Expr>),
     /// First projection.
-    Fst(Box<Expr>),
+    Fst(Arc<Expr>),
     /// Second projection.
-    Snd(Box<Expr>),
+    Snd(Arc<Expr>),
     /// Left injection of a sum.
-    InjL(Box<Expr>),
+    InjL(Arc<Expr>),
     /// Right injection of a sum.
-    InjR(Box<Expr>),
+    InjR(Arc<Expr>),
     /// `match e with inl => e1 | inr => e2` — `e1`, `e2` are functions
     /// applied to the injected payload.
-    Case(Box<Expr>, Box<Expr>, Box<Expr>),
+    Case(Arc<Expr>, Arc<Expr>, Arc<Expr>),
     /// `ref e` — allocation.
-    Alloc(Box<Expr>),
+    Alloc(Arc<Expr>),
     /// `!e` — load.
-    Load(Box<Expr>),
+    Load(Arc<Expr>),
     /// `e1 <- e2` — store.
-    Store(Box<Expr>, Box<Expr>),
+    Store(Arc<Expr>, Arc<Expr>),
     /// `CAS(l, v1, v2)` — compare-and-set, returns a boolean.
-    Cas(Box<Expr>, Box<Expr>, Box<Expr>),
+    Cas(Arc<Expr>, Arc<Expr>, Arc<Expr>),
     /// `FAA(l, k)` — fetch-and-add, returns the old value.
-    Faa(Box<Expr>, Box<Expr>),
+    Faa(Arc<Expr>, Arc<Expr>),
     /// `fork { e }` — spawns a thread, returns `()`.
-    Fork(Box<Expr>),
+    Fork(Arc<Expr>),
 }
 
 impl Expr {
@@ -157,7 +157,7 @@ impl Expr {
         Expr::Rec {
             f: None,
             x: Some(x.to_owned()),
-            body: Box::new(body),
+            body: Arc::new(body),
         }
     }
 
@@ -167,14 +167,14 @@ impl Expr {
         Expr::Rec {
             f: Some(f.to_owned()),
             x: Some(x.to_owned()),
-            body: Box::new(body),
+            body: Arc::new(body),
         }
     }
 
     #[must_use]
     /// Function application `f a`.
     pub fn app(f: Expr, a: Expr) -> Expr {
-        Expr::App(Box::new(f), Box::new(a))
+        Expr::App(Arc::new(f), Arc::new(a))
     }
 
     /// `let x := e1 in e2`, desugared to `(fun x := e2) e1`.
@@ -190,7 +190,7 @@ impl Expr {
             Expr::Rec {
                 f: None,
                 x: None,
-                body: Box::new(e2),
+                body: Arc::new(e2),
             },
             e1,
         )
@@ -199,49 +199,49 @@ impl Expr {
     #[must_use]
     /// `if c then t else e`.
     pub fn if_(c: Expr, t: Expr, e: Expr) -> Expr {
-        Expr::If(Box::new(c), Box::new(t), Box::new(e))
+        Expr::If(Arc::new(c), Arc::new(t), Arc::new(e))
     }
 
     #[must_use]
     /// A binary operation.
     pub fn binop(op: BinOp, a: Expr, b: Expr) -> Expr {
-        Expr::BinOp(op, Box::new(a), Box::new(b))
+        Expr::BinOp(op, Arc::new(a), Arc::new(b))
     }
 
     #[must_use]
     /// `ref e` — heap allocation.
     pub fn alloc(e: Expr) -> Expr {
-        Expr::Alloc(Box::new(e))
+        Expr::Alloc(Arc::new(e))
     }
 
     #[must_use]
     /// `!e` — heap load.
     pub fn load(e: Expr) -> Expr {
-        Expr::Load(Box::new(e))
+        Expr::Load(Arc::new(e))
     }
 
     #[must_use]
     /// `l <- v` — heap store.
     pub fn store(l: Expr, v: Expr) -> Expr {
-        Expr::Store(Box::new(l), Box::new(v))
+        Expr::Store(Arc::new(l), Arc::new(v))
     }
 
     #[must_use]
     /// `CAS(l, old, new)` — atomic compare-and-swap.
     pub fn cas(l: Expr, old: Expr, new: Expr) -> Expr {
-        Expr::Cas(Box::new(l), Box::new(old), Box::new(new))
+        Expr::Cas(Arc::new(l), Arc::new(old), Arc::new(new))
     }
 
     #[must_use]
     /// `FAA(l, k)` — atomic fetch-and-add.
     pub fn faa(l: Expr, k: Expr) -> Expr {
-        Expr::Faa(Box::new(l), Box::new(k))
+        Expr::Faa(Arc::new(l), Arc::new(k))
     }
 
     #[must_use]
     /// `fork { e }` — spawn a thread.
     pub fn fork(e: Expr) -> Expr {
-        Expr::Fork(Box::new(e))
+        Expr::Fork(Arc::new(e))
     }
 
     /// The value, if this expression is one.
@@ -282,36 +282,36 @@ impl Expr {
                     Expr::Rec {
                         f: f.clone(),
                         x: x.clone(),
-                        body: Box::new(body.subst(name, v)),
+                        body: Arc::new(body.subst(name, v)),
                     }
                 }
             }
             Expr::App(a, b) => Expr::app(a.subst(name, v), b.subst(name, v)),
-            Expr::UnOp(op, a) => Expr::UnOp(*op, Box::new(a.subst(name, v))),
+            Expr::UnOp(op, a) => Expr::UnOp(*op, Arc::new(a.subst(name, v))),
             Expr::BinOp(op, a, b) => Expr::binop(*op, a.subst(name, v), b.subst(name, v)),
             Expr::If(c, t, e) => {
                 Expr::if_(c.subst(name, v), t.subst(name, v), e.subst(name, v))
             }
             Expr::Pair(a, b) => {
-                Expr::Pair(Box::new(a.subst(name, v)), Box::new(b.subst(name, v)))
+                Expr::Pair(Arc::new(a.subst(name, v)), Arc::new(b.subst(name, v)))
             }
-            Expr::Fst(a) => Expr::Fst(Box::new(a.subst(name, v))),
-            Expr::Snd(a) => Expr::Snd(Box::new(a.subst(name, v))),
-            Expr::InjL(a) => Expr::InjL(Box::new(a.subst(name, v))),
-            Expr::InjR(a) => Expr::InjR(Box::new(a.subst(name, v))),
+            Expr::Fst(a) => Expr::Fst(Arc::new(a.subst(name, v))),
+            Expr::Snd(a) => Expr::Snd(Arc::new(a.subst(name, v))),
+            Expr::InjL(a) => Expr::InjL(Arc::new(a.subst(name, v))),
+            Expr::InjR(a) => Expr::InjR(Arc::new(a.subst(name, v))),
             Expr::Case(s, l, r) => Expr::Case(
-                Box::new(s.subst(name, v)),
-                Box::new(l.subst(name, v)),
-                Box::new(r.subst(name, v)),
+                Arc::new(s.subst(name, v)),
+                Arc::new(l.subst(name, v)),
+                Arc::new(r.subst(name, v)),
             ),
-            Expr::Alloc(a) => Expr::Alloc(Box::new(a.subst(name, v))),
-            Expr::Load(a) => Expr::Load(Box::new(a.subst(name, v))),
+            Expr::Alloc(a) => Expr::Alloc(Arc::new(a.subst(name, v))),
+            Expr::Load(a) => Expr::Load(Arc::new(a.subst(name, v))),
             Expr::Store(a, b) => Expr::store(a.subst(name, v), b.subst(name, v)),
             Expr::Cas(a, b, c) => {
                 Expr::cas(a.subst(name, v), b.subst(name, v), c.subst(name, v))
             }
             Expr::Faa(a, b) => Expr::faa(a.subst(name, v), b.subst(name, v)),
-            Expr::Fork(a) => Expr::Fork(Box::new(a.subst(name, v))),
+            Expr::Fork(a) => Expr::Fork(Arc::new(a.subst(name, v))),
         }
     }
 
@@ -388,7 +388,7 @@ impl Expr {
             Expr::Rec { f, x, body } => Some(Val::Rec {
                 f: f.clone(),
                 x: x.clone(),
-                body: Arc::new((**body).clone()),
+                body: body.clone(),
             }),
             Expr::Val(v @ Val::Rec { .. }) => Some(v.clone()),
             _ => None,
@@ -438,7 +438,7 @@ mod tests {
     fn let_and_seq_desugar() {
         let e = Expr::seq(Expr::unit(), Expr::int(2));
         match e {
-            Expr::App(f, _) => match *f {
+            Expr::App(f, _) => match &*f {
                 Expr::Rec { f: None, x: None, .. } => {}
                 other => panic!("unexpected desugaring: {other:?}"),
             },

@@ -41,6 +41,7 @@ pub(crate) mod lexer;
 use crate::expr::{BinOp, Expr, UnOp};
 use lexer::{lex, SpannedTok, Tok};
 use std::fmt;
+use std::sync::Arc;
 
 /// A parse failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -253,12 +254,12 @@ impl<'a> Parser<'a> {
                 let inner = rest.iter().rev().fold(body, |acc, p| Expr::Rec {
                     f: None,
                     x: p.clone(),
-                    body: Box::new(acc),
+                    body: Arc::new(acc),
                 });
                 Expr::Rec {
                     f: Some(name.clone()),
                     x: first.clone(),
-                    body: Box::new(inner),
+                    body: Arc::new(inner),
                 }
             }
         };
@@ -278,7 +279,7 @@ impl<'a> Parser<'a> {
                     Expr::Rec {
                         f: None,
                         x,
-                        body: Box::new(e2),
+                        body: Arc::new(e2),
                     },
                     e1,
                 ))
@@ -294,7 +295,7 @@ impl<'a> Parser<'a> {
                 Ok(params.into_iter().rev().fold(body, |acc, p| Expr::Rec {
                     f: None,
                     x: p,
-                    body: Box::new(acc),
+                    body: Arc::new(acc),
                 }))
             }
             Some(Tok::Rec) => {
@@ -310,12 +311,12 @@ impl<'a> Parser<'a> {
                 let inner = rest.iter().rev().fold(body, |acc, p| Expr::Rec {
                     f: None,
                     x: p.clone(),
-                    body: Box::new(acc),
+                    body: Arc::new(acc),
                 });
                 Ok(Expr::Rec {
                     f,
                     x: first.clone(),
-                    body: Box::new(inner),
+                    body: Arc::new(inner),
                 })
             }
             Some(Tok::Match) => {
@@ -336,12 +337,12 @@ impl<'a> Parser<'a> {
                 let arm = |x: Option<String>, body: Expr| Expr::Rec {
                     f: None,
                     x,
-                    body: Box::new(body),
+                    body: Arc::new(body),
                 };
                 Ok(Expr::Case(
-                    Box::new(scrut),
-                    Box::new(arm(xl, el)),
-                    Box::new(arm(xr, er)),
+                    Arc::new(scrut),
+                    Arc::new(arm(xl, el)),
+                    Arc::new(arm(xr, er)),
                 ))
             }
             Some(Tok::If) => {
@@ -516,27 +517,27 @@ impl<'a> Parser<'a> {
             }
             Some(Tok::Fst) => {
                 self.bump();
-                Ok(Expr::Fst(Box::new(self.prefix()?)))
+                Ok(Expr::Fst(Arc::new(self.prefix()?)))
             }
             Some(Tok::Snd) => {
                 self.bump();
-                Ok(Expr::Snd(Box::new(self.prefix()?)))
+                Ok(Expr::Snd(Arc::new(self.prefix()?)))
             }
             Some(Tok::Inl) => {
                 self.bump();
-                Ok(Expr::InjL(Box::new(self.prefix()?)))
+                Ok(Expr::InjL(Arc::new(self.prefix()?)))
             }
             Some(Tok::Inr) => {
                 self.bump();
-                Ok(Expr::InjR(Box::new(self.prefix()?)))
+                Ok(Expr::InjR(Arc::new(self.prefix()?)))
             }
             Some(Tok::Tilde) => {
                 self.bump();
-                Ok(Expr::UnOp(UnOp::Not, Box::new(self.prefix()?)))
+                Ok(Expr::UnOp(UnOp::Not, Arc::new(self.prefix()?)))
             }
             Some(Tok::Minus) => {
                 self.bump();
-                Ok(Expr::UnOp(UnOp::Neg, Box::new(self.prefix()?)))
+                Ok(Expr::UnOp(UnOp::Neg, Arc::new(self.prefix()?)))
             }
             Some(Tok::Assert) => {
                 self.bump();
@@ -594,7 +595,7 @@ impl<'a> Parser<'a> {
                 if self.eat(&Tok::Comma) {
                     let e2 = self.expr()?;
                     self.expect(&Tok::RParen)?;
-                    Ok(Expr::Pair(Box::new(e), Box::new(e2)))
+                    Ok(Expr::Pair(Arc::new(e), Arc::new(e2)))
                 } else {
                     self.expect(&Tok::RParen)?;
                     Ok(e)

@@ -5,7 +5,6 @@ use crate::expr::{BinOp, Expr, UnOp};
 use crate::heap::Heap;
 use crate::value::Val;
 use std::fmt;
-use std::sync::Arc;
 
 /// The result of a successful head step.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,7 +53,7 @@ pub fn head_step(e: &Expr, heap: &mut Heap) -> Result<StepResult, StuckError> {
         Expr::Rec { f, x, body } => Ok(StepResult::pure(Expr::Val(Val::Rec {
             f: f.clone(),
             x: x.clone(),
-            body: Arc::new((**body).clone()),
+            body: body.clone(),
         }))),
         Expr::App(fun, arg) => {
             let (Some(fv), Some(av)) = (fun.as_val(), arg.as_val()) else {
@@ -261,6 +260,7 @@ pub fn thread_step(e: &Expr, heap: &mut Heap) -> Result<Option<StepResult>, Stuc
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn run_seq(mut e: Expr, heap: &mut Heap) -> Result<Val, StuckError> {
         for _ in 0..100_000 {
@@ -353,9 +353,9 @@ mod tests {
     fn sums_and_case() {
         let mut h = Heap::new();
         let e = Expr::Case(
-            Box::new(Expr::InjR(Box::new(Expr::int(3)))),
-            Box::new(Expr::lam("x", Expr::int(0))),
-            Box::new(Expr::lam("x", Expr::var("x"))),
+            Arc::new(Expr::InjR(Arc::new(Expr::int(3)))),
+            Arc::new(Expr::lam("x", Expr::int(0))),
+            Arc::new(Expr::lam("x", Expr::var("x"))),
         );
         assert_eq!(run_seq(e, &mut h).unwrap(), Val::int(3));
     }

@@ -170,10 +170,45 @@ impl Assertion {
         self.map_terms(&|t| s.apply(t))
     }
 
-    /// Resolves solved evars in all embedded terms.
+    /// Resolves solved evars in all embedded terms. When nothing needs
+    /// zonking the tree is not rebuilt (see [`Assertion::zonk_owned`]
+    /// for the allocation-free entry point on owned values).
     #[must_use]
     pub fn zonk(&self, ctx: &VarCtx) -> Assertion {
+        if !self.needs_zonk(ctx) {
+            return self.clone();
+        }
         self.map_terms(&|t| t.zonk(ctx))
+    }
+
+    /// [`Assertion::zonk`] on an owned assertion: returns `self`
+    /// untouched — no walk, no allocation — when no embedded term needs
+    /// zonking, which is the common case in the search loops (most steps
+    /// solve no evars).
+    #[must_use]
+    pub fn zonk_owned(self, ctx: &VarCtx) -> Assertion {
+        if !self.needs_zonk(ctx) {
+            return self;
+        }
+        self.map_terms(&|t| t.zonk(ctx))
+    }
+
+    /// Whether [`Assertion::zonk`] would change anything (see
+    /// [`Term::needs_zonk`]). Early-exits on the first affected term.
+    #[must_use]
+    pub fn needs_zonk(&self, ctx: &VarCtx) -> bool {
+        match self {
+            Assertion::Pure(p) => p.needs_zonk(ctx),
+            Assertion::Atom(a) => a.needs_zonk(ctx),
+            Assertion::Sep(a, b) | Assertion::Or(a, b) | Assertion::Wand(a, b) => {
+                a.needs_zonk(ctx) || b.needs_zonk(ctx)
+            }
+            Assertion::Exists(_, a)
+            | Assertion::Forall(_, a)
+            | Assertion::Later(a)
+            | Assertion::BUpd(a)
+            | Assertion::FUpd(_, _, a) => a.needs_zonk(ctx),
+        }
     }
 
     /// Applies `f` to every term leaf.

@@ -172,10 +172,43 @@ impl Atom {
         self.map_terms(&|t| s.apply(t))
     }
 
-    /// Resolves solved evars in all embedded terms.
+    /// Resolves solved evars in all embedded terms. Returns a plain
+    /// clone (cheap: invariant bodies are `Arc`-shared) when no embedded
+    /// term needs zonking — the steady state inside probe loops.
     #[must_use]
     pub fn zonk(&self, ctx: &VarCtx) -> Atom {
+        if !self.needs_zonk(ctx) {
+            return self.clone();
+        }
         self.map_terms(&|t| t.zonk(ctx))
+    }
+
+    /// [`Atom::zonk`] on an owned atom: returns `self` untouched when no
+    /// embedded term needs zonking.
+    #[must_use]
+    pub fn zonk_owned(self, ctx: &VarCtx) -> Atom {
+        if !self.needs_zonk(ctx) {
+            return self;
+        }
+        self.map_terms(&|t| t.zonk(ctx))
+    }
+
+    /// Whether [`Atom::zonk`] would change anything (see
+    /// [`Term::needs_zonk`]). Early-exits on the first affected term.
+    #[must_use]
+    pub fn needs_zonk(&self, ctx: &VarCtx) -> bool {
+        match self {
+            Atom::PointsTo { loc, frac, val } => {
+                loc.needs_zonk(ctx) || frac.needs_zonk(ctx) || val.needs_zonk(ctx)
+            }
+            Atom::Ghost(g) => {
+                g.gname.needs_zonk(ctx) || g.args.iter().any(|a| a.needs_zonk(ctx))
+            }
+            Atom::Invariant { body, .. } => body.needs_zonk(ctx),
+            Atom::Wp { post, .. } => post.body.needs_zonk(ctx),
+            Atom::PredApp { args, .. } => args.iter().any(|a| a.needs_zonk(ctx)),
+            Atom::CloseInv { .. } => false,
+        }
     }
 
     /// Applies `f` to every term leaf.

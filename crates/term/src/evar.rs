@@ -13,6 +13,16 @@
 use crate::sort::Sort;
 use crate::term::Term;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide source of solution-generation stamps. Stamps are globally
+/// unique, so `(TermId, generation)` memo keys (see [`crate::intern`])
+/// cannot collide across contexts or across clones of one context.
+static NEXT_GEN: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_gen() -> u64 {
+    NEXT_GEN.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A scope level. Level 0 is the outermost scope.
 pub type Level = u32;
@@ -103,13 +113,20 @@ pub struct VarCtx {
     evars: Vec<EVarInfo>,
     level: Level,
     solves: u64,
+    generation: u64,
+    /// Count of in-place solution rewrites ([`VarCtx::map_solutions`]) —
+    /// the one mutation [`VarCtx::rollback`] cannot undo. Used to decide
+    /// whether a rollback restores the checkpoint's generation stamp.
+    maps: u64,
 }
 
-// `solves` is deliberately excluded: it counts speculative solve *events*
-// (see [`VarCtx::solve_events`]), which vary with search effort (e.g. the
-// hint index on/off) even when the resulting proof state is identical.
-// Trace snapshots embed a `VarCtx` and are compared via `Debug`, so the
-// effort counter must not leak into the rendering.
+// `solves` and `generation` are deliberately excluded. `solves` counts
+// speculative solve *events* (see [`VarCtx::solve_events`]), which vary
+// with search effort (e.g. the hint index on/off) even when the resulting
+// proof state is identical; `generation` is a cache-invalidation stamp
+// ([`VarCtx::generation`]) whose raw value depends on global allocation
+// order. Trace snapshots embed a `VarCtx` and are compared via `Debug`,
+// so neither may leak into the rendering.
 impl fmt::Debug for VarCtx {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("VarCtx")
@@ -204,6 +221,7 @@ impl VarCtx {
             level,
             solution,
         });
+        self.generation = fresh_gen();
         id
     }
 
@@ -282,6 +300,24 @@ impl VarCtx {
         assert!(info.solution.is_none(), "evar {e} solved twice");
         info.solution = Some(t);
         self.solves += 1;
+        self.generation = fresh_gen();
+    }
+
+    /// The current solution generation: a stamp identifying the recorded
+    /// evar-solution state. It changes whenever that state may have changed
+    /// (solving, [`VarCtx::map_solutions`], raw evar pushes) and is
+    /// *restored* by a rollback that provably re-creates the checkpointed
+    /// state. Two reads returning the same stamp guarantee zonk/normalize
+    /// results are interchangeable, so [`crate::intern`] keys its memo
+    /// tables on it.
+    ///
+    /// Stamps are globally unique across all contexts (clones share a stamp
+    /// only until either side mutates), unlike [`VarCtx::solve_events`],
+    /// which is a per-context effort counter that does **not** change on
+    /// rollback and therefore cannot key a cache soundly.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Monotonic count of evar solve *events* in this context's history,
@@ -305,6 +341,8 @@ impl VarCtx {
                 info.solution = Some(f(sol));
             }
         }
+        self.maps += 1;
+        self.generation = fresh_gen();
     }
 
     /// Lowers the level of an evar (level pruning). The level can only
@@ -341,11 +379,21 @@ impl VarCtx {
                 .map(|(i, _)| EVarId(i as u32))
                 .collect(),
             levels: self.evars.iter().map(|i| i.level).collect(),
+            generation: self.generation,
+            maps: self.maps,
         }
     }
 
     /// Rolls back to a checkpoint: newly created vars/evars are dropped and
     /// solutions recorded since the mark are erased.
+    ///
+    /// When every mutation since the mark is one rollback can undo (solves,
+    /// fresh entities, level changes — everything except
+    /// [`VarCtx::map_solutions`], which rewrites solutions in place), the
+    /// restored state is bitwise the checkpointed one, so the checkpoint's
+    /// generation stamp is restored too. That is what lets the
+    /// [`crate::intern`] memo tables stay warm across the speculative
+    /// probe loops of hint matching, which checkpoint/rollback constantly.
     ///
     /// # Panics
     ///
@@ -364,6 +412,11 @@ impl VarCtx {
             }
             info.level = mark.levels[i];
         }
+        self.generation = if self.maps == mark.maps {
+            mark.generation
+        } else {
+            fresh_gen()
+        };
     }
 }
 
@@ -375,6 +428,8 @@ pub struct VarCtxMark {
     level: Level,
     solved: Vec<EVarId>,
     levels: Vec<Level>,
+    generation: u64,
+    maps: u64,
 }
 
 #[cfg(test)]

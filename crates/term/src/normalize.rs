@@ -158,13 +158,28 @@ impl LinComb {
 
 /// Normalises a numeric term into a [`LinComb`]. The term is zonked first,
 /// so solved evars are transparent.
+///
+/// When a [`crate::intern`] scope is active the result is memoized by the
+/// interned id of the *zonked* term (normalisation of a fully-zonked term
+/// is purely structural); the result is always identical to
+/// [`normalize_structural`].
 #[must_use]
 pub fn normalize(ctx: &VarCtx, t: &Term) -> LinComb {
-    normalize_resolved(ctx, &t.zonk(ctx))
+    match crate::intern::normalize_memo(ctx, t) {
+        Some(lc) => lc,
+        None => normalize_structural(ctx, t),
+    }
+}
+
+/// The direct, uncached normalisation. [`normalize`] is the memoized
+/// front; property tests compare the two.
+#[must_use]
+pub fn normalize_structural(ctx: &VarCtx, t: &Term) -> LinComb {
+    normalize_resolved(ctx, &t.zonk_structural(ctx))
 }
 
 #[allow(clippy::only_used_in_recursion)]
-fn normalize_resolved(ctx: &VarCtx, t: &Term) -> LinComb {
+pub(crate) fn normalize_resolved(ctx: &VarCtx, t: &Term) -> LinComb {
     match t {
         Term::Int(n) => LinComb::constant(Rat::from_int(*n)),
         Term::QpLit(q) => LinComb::constant(q.as_rat()),

@@ -135,7 +135,27 @@ impl PureProp {
     /// Resolves solved evars in all embedded terms.
     #[must_use]
     pub fn zonk(&self, ctx: &VarCtx) -> PureProp {
+        if !self.needs_zonk(ctx) {
+            return self.clone();
+        }
         self.map_terms(&|t| t.zonk(ctx))
+    }
+
+    /// Whether [`PureProp::zonk`] would change anything (see
+    /// [`Term::needs_zonk`]). Early-exits on the first affected term.
+    #[must_use]
+    pub fn needs_zonk(&self, ctx: &VarCtx) -> bool {
+        match self {
+            PureProp::True | PureProp::False => false,
+            PureProp::Eq(a, b)
+            | PureProp::Ne(a, b)
+            | PureProp::Le(a, b)
+            | PureProp::Lt(a, b) => a.needs_zonk(ctx) || b.needs_zonk(ctx),
+            PureProp::And(a, b) | PureProp::Or(a, b) | PureProp::Implies(a, b) => {
+                a.needs_zonk(ctx) || b.needs_zonk(ctx)
+            }
+            PureProp::Not(a) => a.needs_zonk(ctx),
+        }
     }
 
     /// Applies `f` to every term leaf.

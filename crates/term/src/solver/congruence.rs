@@ -24,7 +24,7 @@ pub enum ClosureResult {
 /// Numeric-sorted equalities derived through injectivity (e.g. from
 /// `#a = #b` conclude `a = b` over ℤ) are *exported* via
 /// [`Congruence::derived_numeric`] so the linear solver can consume them.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Congruence {
     nodes: Vec<Term>,
     ids: HashMap<Term, usize>,
@@ -53,7 +53,7 @@ impl Congruence {
         self.parent.push(id);
         // Register subterms too, so congruence can fire on them.
         if let Term::App(_, args) = t {
-            for a in args {
+            for a in args.iter() {
                 self.node(a);
             }
         }
@@ -88,7 +88,7 @@ impl Congruence {
                     self.contradiction = true;
                     return;
                 }
-                for (x, y) in xs.iter().zip(ys) {
+                for (x, y) in xs.iter().zip(ys.iter()) {
                     self.assert_eq(ctx, x, y);
                 }
                 return;
@@ -149,7 +149,7 @@ impl Congruence {
                     let (ri, rj) = (self.find(i), self.find(j));
                     if let (Term::App(f, xs), Term::App(g, ys)) = (&ti, &tj) {
                         if f == g && xs.len() == ys.len() {
-                            let args_equal = xs.iter().zip(ys).all(|(x, y)| {
+                            let args_equal = xs.iter().zip(ys.iter()).all(|(x, y)| {
                                 let (nx, ny) = (self.node(x), self.node(y));
                                 self.find(nx) == self.find(ny)
                             });
@@ -160,7 +160,7 @@ impl Congruence {
                             // Injectivity: apps equal ⇒ args equal.
                             let (ri2, rj2) = (self.find(i), self.find(j));
                             if ri2 == rj2 && f.is_value_ctor() {
-                                for (x, y) in xs.iter().zip(ys) {
+                                for (x, y) in xs.iter().zip(ys.iter()) {
                                     if x.sort(ctx).is_numeric() {
                                         self.derived.push(PureProp::Eq(x.clone(), y.clone()));
                                     } else {

@@ -109,7 +109,9 @@ impl Linear {
 
     fn refute_with_splits(&self, ctx: &VarCtx, diseqs: &[LinComb]) -> LinResult {
         match diseqs.split_first() {
-            None => fourier_motzkin(ctx, self.constraints.clone()),
+            None => {
+                fourier_motzkin(ctx, self.constraints.clone())
+            }
             Some((first, rest)) => {
                 if diseqs.len() > MAX_NE_SPLITS {
                     // Too many splits: drop the extras (sound: fewer facts).

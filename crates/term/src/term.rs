@@ -3,6 +3,7 @@
 use crate::evar::{EVarId, VarCtx, VarId};
 use crate::qp::Qp;
 use crate::sort::Sort;
+use std::sync::Arc;
 
 /// Function symbols.
 ///
@@ -78,7 +79,18 @@ impl Sym {
 ///
 /// Terms are immutable trees. Evars are *not* chased implicitly: use
 /// [`Term::zonk`] to resolve solved evars against a [`VarCtx`].
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Application arguments live behind an `Arc`, so cloning a term is a
+/// refcount bump regardless of depth, and equality between terms that
+/// share the same argument allocation (e.g. two clones, or two terms
+/// canonicalised by [`crate::intern`]) short-circuits on pointer
+/// identity. `Arc<[Term]>` renders exactly like `Vec<Term>` under
+/// `Debug`, so trace snapshots are unaffected.
+// The manual `PartialEq` below is structural equality plus an
+// `Arc::ptr_eq` fast path, so the derived structural `Hash` still
+// satisfies `a == b ⇒ hash(a) == hash(b)`.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Debug, Clone, PartialOrd, Ord, Hash)]
 pub enum Term {
     /// A universally quantified (or program-introduced) variable.
     Var(VarId),
@@ -97,8 +109,30 @@ pub enum Term {
     Gname(u64),
     /// Function application. The argument count always matches
     /// [`Sym::arity`].
-    App(Sym, Vec<Term>),
+    App(Sym, Arc<[Term]>),
 }
+
+/// Structural equality, with an `Arc::ptr_eq` fast path on shared
+/// argument lists (sound because interned/cloned terms share storage).
+impl PartialEq for Term {
+    fn eq(&self, other: &Term) -> bool {
+        match (self, other) {
+            (Term::Var(a), Term::Var(b)) => a == b,
+            (Term::EVar(a), Term::EVar(b)) => a == b,
+            (Term::Int(a), Term::Int(b)) => a == b,
+            (Term::Bool(a), Term::Bool(b)) => a == b,
+            (Term::QpLit(a), Term::QpLit(b)) => a == b,
+            (Term::Loc(a), Term::Loc(b)) => a == b,
+            (Term::Gname(a), Term::Gname(b)) => a == b,
+            (Term::App(f, xs), Term::App(g, ys)) => {
+                f == g && (Arc::ptr_eq(xs, ys) || xs[..] == ys[..])
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Term {}
 
 #[allow(clippy::should_implement_trait)] // `add`/`sub`/... are static constructors, not operator methods
 impl Term {
@@ -142,7 +176,7 @@ impl Term {
     /// Function application (checked arity in debug builds).
     pub fn app(sym: Sym, args: Vec<Term>) -> Term {
         debug_assert_eq!(sym.arity(), args.len(), "arity mismatch for {sym:?}");
-        Term::App(sym, args)
+        Term::App(sym, args.into())
     }
 
     #[must_use]
@@ -242,7 +276,7 @@ impl Term {
                     out.push(*v);
                 }
             Term::App(_, args) => {
-                for a in args {
+                for a in args.iter() {
                     a.collect_vars(out);
                 }
             }
@@ -266,7 +300,7 @@ impl Term {
                     out.push(*e);
                 }
             Term::App(_, args) => {
-                for a in args {
+                for a in args.iter() {
                     a.collect_evars(out);
                 }
             }
@@ -306,19 +340,40 @@ impl Term {
 
     /// Replaces solved evars by their solutions, recursively, and reduces
     /// projections applied to pairs.
+    ///
+    /// When a [`crate::intern`] scope is active this goes through the
+    /// generation-keyed zonk cache; the result is always identical to
+    /// [`Term::zonk_structural`].
     #[must_use]
     pub fn zonk(&self, ctx: &VarCtx) -> Term {
+        crate::intern::zonk(ctx, self)
+    }
+
+    /// Whether [`Term::zonk`] would change this term at all: some
+    /// mentioned evar is solved, or a `Fst`/`Snd`-on-`VPair` redex
+    /// occurs. A read-only, allocation-free scan — lets containers
+    /// (assertions, atoms, pure propositions) skip their rebuilding
+    /// walks entirely in the common all-unsolved state.
+    #[must_use]
+    pub fn needs_zonk(&self, ctx: &VarCtx) -> bool {
+        crate::intern::needs_zonk(ctx, self)
+    }
+
+    /// The direct, uncached zonk implementation. [`Term::zonk`] is the
+    /// memoized front; property tests compare the two.
+    #[must_use]
+    pub fn zonk_structural(&self, ctx: &VarCtx) -> Term {
         match self {
             Term::EVar(e) => match ctx.evar_solution(*e) {
-                Some(sol) => sol.zonk(ctx),
+                Some(sol) => sol.zonk_structural(ctx),
                 None => self.clone(),
             },
             Term::App(sym, args) => {
-                let args: Vec<Term> = args.iter().map(|a| a.zonk(ctx)).collect();
+                let args: Vec<Term> = args.iter().map(|a| a.zonk_structural(ctx)).collect();
                 match (sym, args.as_slice()) {
                     (Sym::Fst, [Term::App(Sym::VPair, ps)]) => ps[0].clone(),
                     (Sym::Snd, [Term::App(Sym::VPair, ps)]) => ps[1].clone(),
-                    _ => Term::App(*sym, args),
+                    _ => Term::app(*sym, args),
                 }
             }
             _ => self.clone(),

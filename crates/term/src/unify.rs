@@ -71,7 +71,7 @@ fn unify_resolved(ctx: &mut VarCtx, a: &Term, b: &Term) -> Result<(), UnifyError
         // Arithmetic applications are compared via normal forms (below), not
         // structurally, so that `x + 1` unifies with `1 + x`.
         (Term::App(f, xs), Term::App(g, ys)) if f == g && !f.is_arith() => {
-            for (x, y) in xs.iter().zip(ys) {
+            for (x, y) in xs.iter().zip(ys.iter()) {
                 unify(ctx, x, y)?;
             }
             Ok(())

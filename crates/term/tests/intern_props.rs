@@ -1,0 +1,226 @@
+//! Property-based tests for the hash-consing interner: under an active
+//! scope, the memoized zonk/normalize/unify/subst paths must agree with
+//! the legacy structural implementations on random terms and random
+//! solve/checkpoint/rollback sequences, and `TermId` equality must
+//! coincide with structural term equality.
+//!
+//! Scopes are thread-local, so installing one per property does not
+//! interfere with proptest's parallel workers.
+
+use diaframe_term::normalize::{normalize, normalize_structural};
+use diaframe_term::{intern, unify, Sort, Subst, Term, VarCtx, VarId};
+use proptest::prelude::*;
+
+const NUM_VARS: usize = 3;
+const NUM_EVARS: usize = 3;
+
+/// A context with `NUM_VARS` universal variables and `NUM_EVARS`
+/// unsolved evars (the evars are created last, so solutions mentioning
+/// the variables are always in scope).
+fn mixed_ctx() -> (VarCtx, Vec<VarId>, Vec<diaframe_term::EVarId>) {
+    let mut ctx = VarCtx::new();
+    let vars = (0..NUM_VARS)
+        .map(|i| ctx.fresh_var(Sort::Int, &format!("x{i}")))
+        .collect();
+    let evars = (0..NUM_EVARS).map(|_| ctx.fresh_evar(Sort::Int)).collect();
+    (ctx, vars, evars)
+}
+
+/// A linear integer expression over variables and evars.
+#[derive(Debug, Clone)]
+enum IExpr {
+    Lit(i64),
+    Var(usize),
+    EVar(usize),
+    Add(Box<IExpr>, Box<IExpr>),
+    Sub(Box<IExpr>, Box<IExpr>),
+    Neg(Box<IExpr>),
+}
+
+impl IExpr {
+    fn to_term(&self, vars: &[VarId], evars: &[diaframe_term::EVarId]) -> Term {
+        match self {
+            IExpr::Lit(n) => Term::int(i128::from(*n)),
+            IExpr::Var(i) => Term::var(vars[*i]),
+            IExpr::EVar(i) => Term::evar(evars[*i]),
+            IExpr::Add(a, b) => Term::add(a.to_term(vars, evars), b.to_term(vars, evars)),
+            IExpr::Sub(a, b) => Term::sub(a.to_term(vars, evars), b.to_term(vars, evars)),
+            IExpr::Neg(a) => Term::neg(a.to_term(vars, evars)),
+        }
+    }
+}
+
+fn iexpr(with_evars: bool) -> impl Strategy<Value = IExpr> {
+    let mut leaves = vec![
+        (-20i64..=20).prop_map(IExpr::Lit).boxed(),
+        (0..NUM_VARS).prop_map(IExpr::Var).boxed(),
+    ];
+    if with_evars {
+        leaves.push((0..NUM_EVARS).prop_map(IExpr::EVar).boxed());
+    }
+    proptest::strategy::Union::new(leaves).prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IExpr::Sub(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| IExpr::Neg(Box::new(a))),
+        ]
+    })
+}
+
+/// One step of a random search-shaped mutation of the variable context.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Solve evar `i` (if still unsolved) with an evar-free term.
+    Solve(usize, IExpr),
+    /// Push a checkpoint.
+    Checkpoint,
+    /// Roll back to the most recent checkpoint, if any.
+    Rollback,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0..NUM_EVARS), iexpr(false)).prop_map(|(i, e)| Op::Solve(i, e)),
+        Just(Op::Checkpoint),
+        Just(Op::Rollback),
+    ]
+}
+
+/// Replays `script` against `ctx`, calling `probe` after every step.
+fn run_script(
+    ctx: &mut VarCtx,
+    vars: &[VarId],
+    evars: &[diaframe_term::EVarId],
+    script: &[Op],
+    mut probe: impl FnMut(&VarCtx),
+) {
+    let mut marks = Vec::new();
+    for o in script {
+        match o {
+            Op::Solve(i, e) => {
+                if ctx.evar_unsolved(evars[*i]) {
+                    ctx.solve_evar(evars[*i], e.to_term(vars, &[]));
+                }
+            }
+            Op::Checkpoint => marks.push(ctx.checkpoint()),
+            Op::Rollback => {
+                if let Some(mark) = marks.pop() {
+                    ctx.rollback(&mark);
+                }
+            }
+        }
+        probe(ctx);
+    }
+}
+
+proptest! {
+    /// Memoized zonk agrees with the structural walk after every step of
+    /// a random solve/checkpoint/rollback sequence — the exact pattern
+    /// the search's probe loop produces, and the one the
+    /// generation-keyed cache must survive.
+    #[test]
+    fn zonk_matches_structural_across_rollbacks(
+        t in iexpr(true),
+        script in prop::collection::vec(op(), 0..12),
+    ) {
+        let _scope = intern::scope();
+        let (mut ctx, vars, evars) = mixed_ctx();
+        let term = t.to_term(&vars, &evars);
+        prop_assert_eq!(term.zonk(&ctx), term.zonk_structural(&ctx));
+        let mut failures = Vec::new();
+        run_script(&mut ctx, &vars, &evars, &script, |ctx| {
+            let memo = term.zonk(ctx);
+            let structural = term.zonk_structural(ctx);
+            if memo != structural {
+                failures.push((memo, structural));
+            }
+        });
+        prop_assert!(failures.is_empty(), "memo/structural zonk diverged: {failures:?}");
+    }
+
+    /// Memoized normalisation agrees with the structural normaliser on
+    /// random partially-solved terms.
+    #[test]
+    fn normalize_matches_structural(
+        t in iexpr(true),
+        script in prop::collection::vec(op(), 0..8),
+    ) {
+        let _scope = intern::scope();
+        let (mut ctx, vars, evars) = mixed_ctx();
+        let term = t.to_term(&vars, &evars);
+        let mut failures = Vec::new();
+        run_script(&mut ctx, &vars, &evars, &script, |ctx| {
+            let memo = normalize(ctx, &term);
+            let structural = normalize_structural(ctx, &term);
+            if memo != structural {
+                failures.push((memo, structural));
+            }
+        });
+        prop_assert!(failures.is_empty(), "memo/structural normalize diverged: {failures:?}");
+    }
+
+    /// Unification behaves identically with and without an active
+    /// interner scope: same verdict, same evar solutions.
+    #[test]
+    fn unify_agrees_with_structural(a in iexpr(true), b in iexpr(true)) {
+        let (ctx, vars, evars) = mixed_ctx();
+        let (ta, tb) = (a.to_term(&vars, &evars), b.to_term(&vars, &evars));
+
+        let mut interned_ctx = ctx.clone();
+        let interned = {
+            let _scope = intern::scope();
+            unify(&mut interned_ctx, &ta, &tb).is_ok()
+        };
+
+        let mut structural_ctx = ctx;
+        prop_assert!(!intern::is_active());
+        let structural = unify(&mut structural_ctx, &ta, &tb).is_ok();
+
+        prop_assert_eq!(interned, structural);
+        if interned {
+            for e in &evars {
+                prop_assert_eq!(
+                    Term::evar(*e).zonk_structural(&interned_ctx),
+                    Term::evar(*e).zonk_structural(&structural_ctx),
+                    "evar solutions diverged between interned and structural unify"
+                );
+            }
+        }
+    }
+
+    /// Substitution is oblivious to the interner: applying the same
+    /// substitution inside and outside a scope yields equal terms.
+    #[test]
+    fn subst_agrees_with_structural(t in iexpr(true), env in prop::collection::vec(-50i64..=50, NUM_VARS)) {
+        let (ctx, vars, evars) = mixed_ctx();
+        let term = t.to_term(&vars, &evars);
+        let mut s = Subst::new();
+        for (v, n) in vars.iter().zip(&env) {
+            s.insert(*v, Term::int(i128::from(*n)));
+        }
+        let outside = s.apply(&term);
+        let inside = {
+            let _scope = intern::scope();
+            s.apply(&intern::canonical(&term))
+        };
+        prop_assert_eq!(outside, inside);
+        let _ = ctx;
+    }
+
+    /// `TermId` equality coincides with structural term equality: the
+    /// arena never conflates distinct terms and never duplicates equal
+    /// ones.
+    #[test]
+    fn term_id_equality_iff_structural_equality(a in iexpr(true), b in iexpr(true)) {
+        let _scope = intern::scope();
+        let (_, vars, evars) = mixed_ctx();
+        let (ta, tb) = (a.to_term(&vars, &evars), b.to_term(&vars, &evars));
+        let (ia, ib) = (intern::term_id(&ta).unwrap(), intern::term_id(&tb).unwrap());
+        prop_assert_eq!(ia == ib, ta == tb);
+        // Resolution is the identity on interned terms.
+        prop_assert_eq!(intern::resolve(ia).unwrap(), ta);
+        prop_assert_eq!(intern::resolve(ib).unwrap(), tb);
+    }
+}
