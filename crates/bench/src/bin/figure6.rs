@@ -11,7 +11,7 @@
 //! `DIAFRAME_JOBS` or the core count), into a shared cache; every
 //! requested table is then rendered from that cache without re-running
 //! anything. `--json` prints the machine-readable timing + telemetry
-//! snapshot (schema `diaframe-bench/figure6/v3`) instead of tables;
+//! snapshot (schema `diaframe-bench/figure6/v4`) instead of tables;
 //! `--json-out` writes it to a file alongside the tables — the committed
 //! `BENCH_figure6.json` is produced that way. `--explain EXAMPLE` skips
 //! the suite and instead runs EXAMPLE's sabotaged variant under a

@@ -344,7 +344,7 @@ fn ms(d: Duration) -> String {
 }
 
 /// Serializes the Figure 6 run as JSON (schema
-/// `diaframe-bench/figure6/v3`) for committing as a `BENCH_*.json`
+/// `diaframe-bench/figure6/v4`) for committing as a `BENCH_*.json`
 /// snapshot: per-example search/check/total timings and search-effort
 /// counters, the run's worker count, stack size, wall-clock, cache
 /// accounting, and the suite-wide counter aggregate.
@@ -355,7 +355,14 @@ fn ms(d: Duration) -> String {
 /// counters (`interner_hits`/`interner_misses`/`zonk_cache_hits`/
 /// `normalize_cache_hits`) to every telemetry block; timings in a v3
 /// snapshot are measured with the hash-consing interner active and are
-/// not comparable to v2 timings run without it.
+/// not comparable to v2 timings run without it. v4 adds the incremental
+/// pure-solver counters (`solver_facts_asserted`/`solver_merges`/
+/// `solver_undo_ops`/`solver_queries_incremental`/
+/// `solver_queries_rebuild`/`solver_verdict_hits`/
+/// `solver_verdict_misses`); timings in a v4 snapshot are measured with
+/// the persistent backtrackable e-graph solver active
+/// (`DIAFRAME_EGRAPH` unset) and are not comparable to v3 timings run
+/// on the rebuild-per-query path.
 ///
 /// # Panics
 ///
@@ -372,7 +379,7 @@ pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
         aggregate.merge(&m.counters);
     }
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/figure6/v3\",");
+    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/figure6/v4\",");
     let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(
         out,

@@ -75,7 +75,7 @@ fn suite_tables_unaffected_by_telemetry() {
     // The v2 snapshot carries the telemetry blocks and a non-trivial
     // aggregate (`figure6_json` re-checks every row's invariants).
     let json = figure6_json(&plain, 2, Duration::ZERO);
-    assert!(json.contains("\"schema\": \"diaframe-bench/figure6/v3\""));
+    assert!(json.contains("\"schema\": \"diaframe-bench/figure6/v4\""));
     assert!(json.contains("\"telemetry\""));
     assert!(json.contains("\"probes_attempted\""));
     let aggregate: u64 = figure6_rows(&plain)

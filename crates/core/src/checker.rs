@@ -32,7 +32,9 @@
 
 use crate::trace::{ProofTrace, TraceStep};
 use diaframe_logic::Namespace;
+use diaframe_term::solver::egraph::{self, EGraph};
 use diaframe_term::solver::PureSolver;
+use diaframe_term::{EVarId, PureProp, VarCtx, VarId};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -97,6 +99,22 @@ struct Frame {
     /// Case splits opened in this frame whose branches are still being
     /// replayed.
     splits: Vec<Split>,
+    /// The incremental pure solver carried across this branch's pure
+    /// obligations. Successive obligations along one branch share long
+    /// fact prefixes (the search only appends to `Γ` between branch
+    /// points), so instead of rebuilding `PureSolver::new(facts)` at
+    /// every step, the shared prefix is kept and only the delta is
+    /// pushed/rolled back. The independent `fuzz/spec.rs` oracle
+    /// intentionally keeps its from-scratch rebuild.
+    solver: Option<FrameSolver>,
+}
+
+/// The per-frame incremental solver with the inputs it was last aligned
+/// to, for the reuse check.
+struct FrameSolver {
+    egraph: EGraph,
+    facts: Vec<PureProp>,
+    vars: VarCtx,
 }
 
 impl Frame {
@@ -106,6 +124,7 @@ impl Frame {
             obligations: BTreeSet::new(),
             vacuous: false,
             splits: Vec::new(),
+            solver: None,
         }
     }
 
@@ -117,8 +136,65 @@ impl Frame {
             obligations: self.obligations.clone(),
             vacuous: false,
             splits: Vec::new(),
+            solver: None,
         }
     }
+}
+
+/// Whether `new` is an extension of `old` as a variable context: every
+/// variable and evar of `old` still exists with the same sort and (for
+/// evars) the same recorded solution. Obligations are checked in frozen
+/// mode — no evar is ever instantiated — so sorts and solutions are the
+/// only inputs the solver reads; levels and display names are irrelevant
+/// to verdicts.
+fn vars_extends(new: &VarCtx, old: &VarCtx) -> bool {
+    new.num_vars() >= old.num_vars()
+        && new.num_evars() >= old.num_evars()
+        && (0..old.num_vars()).all(|i| {
+            let v = VarId::from_index(i);
+            new.var_sort(v) == old.var_sort(v)
+        })
+        && (0..old.num_evars()).all(|i| {
+            let e = EVarId::from_index(i);
+            new.evar_sort(e) == old.evar_sort(e) && new.evar_solution(e) == old.evar_solution(e)
+        })
+}
+
+/// Aligns the frame's incremental solver with this obligation's recorded
+/// `facts`/`vars`, reusing the shared fact prefix when the recorded
+/// variable context extends the one the solver was built under, and
+/// rebuilding from scratch otherwise (a mutated or reordered trace never
+/// passes the reuse check — it is re-proved on a fresh solver, exactly
+/// like the first obligation of a branch).
+fn reuse_or_rebuild<'a>(
+    slot: &'a mut Option<FrameSolver>,
+    facts: &[PureProp],
+    vars: &VarCtx,
+) -> &'a mut FrameSolver {
+    if let Some(fs) = slot {
+        if fs.egraph.valid() && vars_extends(vars, &fs.vars) {
+            let common = fs
+                .facts
+                .iter()
+                .zip(facts.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            fs.egraph.truncate_facts(common);
+            fs.facts.truncate(common);
+            for f in &facts[common..] {
+                fs.egraph.push_fact(f.clone());
+                fs.facts.push(f.clone());
+            }
+            fs.vars = vars.clone();
+            return slot.as_mut().expect("just matched Some");
+        }
+    }
+    *slot = Some(FrameSolver {
+        egraph: EGraph::from_facts(facts),
+        facts: facts.to_vec(),
+        vars: vars.clone(),
+    });
+    slot.as_mut().expect("just assigned Some")
 }
 
 /// The shared replay core: every checker entry point funnels here.
@@ -128,12 +204,16 @@ fn replay(steps: &[TraceStep]) -> Result<(), CheckError> {
         let frame = stack.last_mut().expect("non-empty stack");
         match step {
             TraceStep::PureObligation { facts, goal, vars } => {
-                // Re-prove from scratch. Remaining evars in recorded
+                // Re-prove independently. Remaining evars in recorded
                 // obligations are treated as opaque constants by the
-                // solver, which is sound.
-                let solver = PureSolver::new(facts);
-                let mut vars = vars.clone();
-                if !solver.prove_frozen(&mut vars, goal) {
+                // solver (frozen mode), which is sound.
+                let proved = if egraph::enabled() {
+                    let fs = reuse_or_rebuild(&mut frame.solver, facts, vars);
+                    fs.egraph.prove_frozen(&mut vars.clone(), goal)
+                } else {
+                    PureSolver::new(facts).prove_frozen(&mut vars.clone(), goal)
+                };
+                if !proved {
                     return Err(CheckError {
                         step: i,
                         message: format!("pure obligation does not re-prove: {goal:?}"),
@@ -244,6 +324,7 @@ pub fn check(trace: &ProofTrace) -> Result<(), CheckError> {
     let intern_scope = diaframe_term::intern::scope();
     let result = replay(trace.steps());
     crate::telemetry::intern_stats(diaframe_term::intern::stats());
+    crate::telemetry::egraph_stats(diaframe_term::intern::egraph_stats());
     drop(intern_scope);
     result
 }

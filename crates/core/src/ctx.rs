@@ -4,6 +4,7 @@
 use crate::index::HeadSet;
 use crate::symval::SymTable;
 use diaframe_logic::{Assertion, MaskStore, PredTable};
+use diaframe_term::solver::egraph::{self, EGraph};
 use diaframe_term::solver::PureSolver;
 use diaframe_term::{PureProp, Subst, Term, VarCtx, VarId};
 
@@ -29,7 +30,7 @@ pub struct Hyp {
 /// Branching (hypothesis disjunctions, `if` on symbolic booleans, manual
 /// case splits) clones the whole context, so sibling branches can never
 /// interfere through shared evars.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ProofCtx {
     /// Variables and term evars.
     pub vars: VarCtx,
@@ -55,10 +56,38 @@ pub struct ProofCtx {
     /// pure solver below.
     facts_rev: u64,
     /// The last pure solver built over `facts`, with the revision it was
-    /// built at. Rebuilding the solver used to dominate `prove_pure` —
-    /// every call re-flattened and re-cloned every fact even though the
-    /// fact list changes far more rarely than it is queried.
+    /// built at. The rebuild-per-query fallback path
+    /// (`DIAFRAME_EGRAPH=off`): rebuilding the solver used to dominate
+    /// `prove_pure` — every call re-flattened and re-cloned every fact
+    /// even though the fact list changes far more rarely than it is
+    /// queried.
     solver_cache: Option<(u64, PureSolver)>,
+    /// The incremental pure solver, kept in lockstep with `facts` by
+    /// [`ProofCtx::add_fact`] / [`ProofCtx::truncate_facts`] (push and
+    /// O(changes) rollback instead of rebuilds). Dropped to `None` by the
+    /// whole-context rewrites (substitution, zonking) — those change
+    /// every fact at once, so a rebuild at the next query is the honest
+    /// cost — and rebuilt lazily when absent or from a dead interner
+    /// scope.
+    egraph: Option<EGraph>,
+}
+
+/// Solver caches are internal state, not proof state: keep them out of
+/// `Debug` so rendered contexts are identical whether or not the
+/// incremental solver is enabled (and regardless of its warm-up state).
+impl std::fmt::Debug for ProofCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProofCtx")
+            .field("vars", &self.vars)
+            .field("masks", &self.masks)
+            .field("preds", &self.preds)
+            .field("facts", &self.facts)
+            .field("delta", &self.delta)
+            .field("syms", &self.syms)
+            .field("pending_pure", &self.pending_pure)
+            .field("next_hyp", &self.next_hyp)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ProofCtx {
@@ -76,12 +105,16 @@ impl ProofCtx {
             next_hyp: 0,
             facts_rev: 0,
             solver_cache: None,
+            egraph: None,
         }
     }
 
     /// Adds a pure fact to `Γ`.
     pub fn add_fact(&mut self, p: PureProp) {
         if p != PureProp::True {
+            if let Some(eg) = &mut self.egraph {
+                eg.push_fact(p.clone());
+            }
             self.facts.push(p);
             self.facts_rev += 1;
         }
@@ -94,6 +127,9 @@ impl ProofCtx {
     /// [`ProofCtx::facts_rev`]: field@ProofCtx::facts_rev
     pub fn truncate_facts(&mut self, len: usize) {
         if len < self.facts.len() {
+            if let Some(eg) = &mut self.egraph {
+                eg.truncate_facts(len);
+            }
             self.facts.truncate(len);
             self.facts_rev += 1;
         }
@@ -130,8 +166,24 @@ impl ProofCtx {
         }
     }
 
+    /// Ensures the incremental solver exists and belongs to the current
+    /// interner scope; rebuilt from the fact list otherwise (context
+    /// creation, a whole-context rewrite, or a context that outlived its
+    /// scope).
+    fn refresh_egraph(&mut self) {
+        if !self.egraph.as_ref().is_some_and(EGraph::valid) {
+            self.egraph = Some(EGraph::from_facts(&self.facts));
+        }
+    }
+
     /// Proves a pure proposition from `Γ` (may instantiate evars).
     pub fn prove_pure(&mut self, goal: &PureProp) -> bool {
+        if egraph::enabled() {
+            self.refresh_egraph();
+            if let Some(eg) = &mut self.egraph {
+                return eg.prove(&mut self.vars, goal);
+            }
+        }
         self.refresh_solver();
         let Some((_, solver)) = &self.solver_cache else {
             unreachable!("refresh_solver always fills the cache")
@@ -142,6 +194,12 @@ impl ProofCtx {
     /// Proves a pure proposition without instantiating evars (for
     /// disjunction guards, §5.3).
     pub fn prove_pure_frozen(&mut self, goal: &PureProp) -> bool {
+        if egraph::enabled() {
+            self.refresh_egraph();
+            if let Some(eg) = &mut self.egraph {
+                return eg.prove_frozen(&mut self.vars, goal);
+            }
+        }
         self.refresh_solver();
         let Some((_, solver)) = &self.solver_cache else {
             unreachable!("refresh_solver always fills the cache")
@@ -151,6 +209,12 @@ impl ProofCtx {
 
     /// Whether `Γ` is contradictory.
     pub fn inconsistent(&mut self) -> bool {
+        if egraph::enabled() {
+            self.refresh_egraph();
+            if let Some(eg) = &mut self.egraph {
+                return eg.inconsistent(&mut self.vars);
+            }
+        }
         self.refresh_solver();
         let Some((_, solver)) = &self.solver_cache else {
             unreachable!("refresh_solver always fills the cache")
@@ -164,6 +228,7 @@ impl ProofCtx {
     pub fn substitute_var(&mut self, v: VarId, t: &Term) {
         let s = Subst::single(v, t.clone());
         self.facts_rev += 1;
+        self.egraph = None;
         for f in &mut self.facts {
             *f = f.subst(&s);
         }
@@ -178,6 +243,7 @@ impl ProofCtx {
     /// displays and matching fast paths precise.
     pub fn zonk_all(&mut self) {
         self.facts_rev += 1;
+        self.egraph = None;
         let vars = &self.vars;
         for f in &mut self.facts {
             *f = f.zonk(vars);

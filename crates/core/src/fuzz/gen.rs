@@ -80,12 +80,24 @@ fn gen_expr(rng: &mut FuzzRng, model: &[(VarId, i64)]) -> (Term, i64) {
     let (mut t, mut v) = leaf(rng, model);
     for _ in 0..rng.below(3) {
         let (t2, v2) = leaf(rng, model);
-        if rng.chance(50) {
-            t = Term::add(t, t2);
-            v += v2;
-        } else {
-            t = Term::sub(t, t2);
-            v -= v2;
+        match rng.below(4) {
+            0 | 1 => {
+                t = Term::add(t, t2);
+                v += v2;
+            }
+            2 => {
+                t = Term::sub(t, t2);
+                v -= v2;
+            }
+            _ => {
+                // Scale the accumulated expression by a small constant:
+                // the solver must distribute the multiplication and the
+                // non-unit coefficients exercise the gcd/lcm paths of
+                // integer tightening.
+                let k = rng.range(2, 3);
+                t = Term::add(Term::mul(Term::int(i128::from(k)), t), t2);
+                v = k * v + v2;
+            }
         }
     }
     (t, v)
@@ -153,6 +165,62 @@ pub fn gen_entailment(seed: u64, index: usize, cfg: &GenConfig) -> EntailmentCas
         let (a, va) = gen_expr(&mut rng, &model);
         let (b, vb) = gen_expr(&mut rng, &model);
         facts.push(true_comparison(&mut rng, a, va, b, vb));
+    }
+
+    // Arithmetic-heavy extras: these lean on the pure solver's linear
+    // layer (Fourier–Motzkin elimination, integer tightening, and
+    // disequality splits) rather than syntactic hypothesis matching.
+    // Each leaves a model-true fact set and, optionally, a goal conjunct
+    // that is *entailed* by the facts — so provable cases stay provable
+    // by construction and unprovable witnesses are unaffected.
+    //
+    // A parity-split comparison: k·a vs k·b + 1 can never be equal for
+    // k ≥ 2, and its non-unit coefficients force the gcd fold in
+    // `tighten` to do real work.
+    if rng.chance(40) {
+        let (a, va) = gen_expr(&mut rng, &model);
+        let (b, vb) = gen_expr(&mut rng, &model);
+        let k = rng.range(2, 4);
+        let sa = Term::mul(Term::int(i128::from(k)), a);
+        let sb = Term::add(Term::mul(Term::int(i128::from(k)), b), Term::int(1));
+        facts.push(true_comparison(&mut rng, sa, k * va, sb, k * vb + 1));
+    }
+    // A sorted chain e₀ ⋈ e₁ ⋈ e₂ whose transitive collapse e₀ ≤ e₂
+    // lands on the goal side: provable only by eliminating the middle
+    // expression, i.e. by a genuine Fourier–Motzkin pivot.
+    let mut chain_goal: Option<PureProp> = None;
+    if rng.chance(35) {
+        let mut es: Vec<(Term, i64)> = (0..3).map(|_| gen_expr(&mut rng, &model)).collect();
+        es.sort_by_key(|e| e.1);
+        for i in 0..es.len() - 1 {
+            let (a, va) = es[i].clone();
+            let (b, vb) = es[i + 1].clone();
+            facts.push(if va < vb && rng.chance(50) {
+                PureProp::lt(a, b)
+            } else {
+                PureProp::le(a, b)
+            });
+        }
+        chain_goal = Some(PureProp::le(es[0].0.clone(), es[2].0.clone()));
+    }
+    // Pinning a model variable: either strict unit-width bounds
+    // (n−1 < v < n+1 entails v = n over ℤ — integer tightening), or a
+    // bound plus a disequality (n−1 ≤ v ∧ v ≠ n−1 entails n ≤ v — a
+    // disequality case split followed by tightening).
+    let mut pin_goal: Option<PureProp> = None;
+    if !model.is_empty() && rng.chance(30) {
+        let &(v, n) = rng.pick(&model);
+        let t = Term::var(v);
+        let n = i128::from(n);
+        if rng.chance(50) {
+            facts.push(PureProp::lt(Term::int(n - 1), t.clone()));
+            facts.push(PureProp::lt(t.clone(), Term::int(n + 1)));
+            pin_goal = Some(PureProp::eq(t, Term::int(n)));
+        } else {
+            facts.push(PureProp::le(Term::int(n - 1), t.clone()));
+            facts.push(PureProp::ne(t.clone(), Term::int(n - 1)));
+            pin_goal = Some(PureProp::le(Term::int(n), t));
+        }
     }
 
     let n_pts = 1 + rng.below(3) as usize;
@@ -246,6 +314,11 @@ pub fn gen_entailment(seed: u64, index: usize, cfg: &GenConfig) -> EntailmentCas
     for f in &facts {
         if rng.chance(50) {
             goal_parts.push(Assertion::pure(weaken(&mut rng, f)));
+        }
+    }
+    for g in [chain_goal, pin_goal].into_iter().flatten() {
+        if rng.chance(70) {
+            goal_parts.push(Assertion::pure(g));
         }
     }
     if rng.chance(30) {

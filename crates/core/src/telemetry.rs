@@ -67,6 +67,13 @@ struct Counters {
     interner_misses: AtomicU64,
     zonk_cache_hits: AtomicU64,
     normalize_cache_hits: AtomicU64,
+    solver_facts_asserted: AtomicU64,
+    solver_merges: AtomicU64,
+    solver_undo_ops: AtomicU64,
+    solver_queries_incremental: AtomicU64,
+    solver_queries_rebuild: AtomicU64,
+    solver_verdict_hits: AtomicU64,
+    solver_verdict_misses: AtomicU64,
     steps_by_kind: [AtomicU64; TraceKind::COUNT],
 }
 
@@ -113,6 +120,23 @@ pub struct CounterSnapshot {
     pub zonk_cache_hits: u64,
     /// Linear-arithmetic normalisations answered from the memo table.
     pub normalize_cache_hits: u64,
+    /// Literals asserted into the incremental pure solver's persistent
+    /// base (see [`diaframe_term::solver::egraph`]).
+    pub solver_facts_asserted: u64,
+    /// Union-find merges performed by the incremental solver.
+    pub solver_merges: u64,
+    /// Undo operations replayed by solver rollbacks (trail pops, node
+    /// removals, constraint truncations).
+    pub solver_undo_ops: u64,
+    /// Uncached entailment queries answered on the persistent base.
+    pub solver_queries_incremental: u64,
+    /// Uncached entailment queries that fell back to a from-scratch
+    /// build (disjunctive state, or a base reset after evar churn).
+    pub solver_queries_rebuild: u64,
+    /// Entailment queries answered from the solver's verdict memo.
+    pub solver_verdict_hits: u64,
+    /// Entailment queries that missed the verdict memo.
+    pub solver_verdict_misses: u64,
     /// Rule applications by [`TraceKind`] (indexed by
     /// [`TraceKind::index`]); monotonic, so steps of abandoned branches
     /// stay counted — this measures effort, not trace length.
@@ -175,6 +199,13 @@ impl CounterSnapshot {
         self.interner_misses += other.interner_misses;
         self.zonk_cache_hits += other.zonk_cache_hits;
         self.normalize_cache_hits += other.normalize_cache_hits;
+        self.solver_facts_asserted += other.solver_facts_asserted;
+        self.solver_merges += other.solver_merges;
+        self.solver_undo_ops += other.solver_undo_ops;
+        self.solver_queries_incremental += other.solver_queries_incremental;
+        self.solver_queries_rebuild += other.solver_queries_rebuild;
+        self.solver_verdict_hits += other.solver_verdict_hits;
+        self.solver_verdict_misses += other.solver_verdict_misses;
         for (a, b) in self.steps_by_kind.iter_mut().zip(other.steps_by_kind.iter()) {
             *a += *b;
         }
@@ -200,6 +231,14 @@ impl CounterSnapshot {
             interner_misses: self.interner_misses - before.interner_misses,
             zonk_cache_hits: self.zonk_cache_hits - before.zonk_cache_hits,
             normalize_cache_hits: self.normalize_cache_hits - before.normalize_cache_hits,
+            solver_facts_asserted: self.solver_facts_asserted - before.solver_facts_asserted,
+            solver_merges: self.solver_merges - before.solver_merges,
+            solver_undo_ops: self.solver_undo_ops - before.solver_undo_ops,
+            solver_queries_incremental: self.solver_queries_incremental
+                - before.solver_queries_incremental,
+            solver_queries_rebuild: self.solver_queries_rebuild - before.solver_queries_rebuild,
+            solver_verdict_hits: self.solver_verdict_hits - before.solver_verdict_hits,
+            solver_verdict_misses: self.solver_verdict_misses - before.solver_verdict_misses,
             steps_by_kind: [0; TraceKind::COUNT],
         };
         if self.deepest_abandoned > before.deepest_abandoned {
@@ -248,6 +287,19 @@ impl CounterSnapshot {
                 self.deepest_abandoned
             ));
         }
+        // Every verdict-memo miss is decided by exactly one uncached
+        // query path (incremental base or from-scratch build).
+        if self.solver_queries_incremental + self.solver_queries_rebuild
+            != self.solver_verdict_misses
+        {
+            return Err(format!(
+                "solver_queries_incremental ({}) + solver_queries_rebuild ({}) != \
+                 solver_verdict_misses ({})",
+                self.solver_queries_incremental,
+                self.solver_queries_rebuild,
+                self.solver_verdict_misses
+            ));
+        }
         Ok(())
     }
 
@@ -264,7 +316,11 @@ impl CounterSnapshot {
              \"probes_matched\": {}, \"hint_misses\": {}, \"backtracks\": {}, \
              \"deepest_abandoned\": {}, \"evar_solve_events\": {}, \"checker_steps\": {}, \
              \"interner_hits\": {}, \"interner_misses\": {}, \"zonk_cache_hits\": {}, \
-             \"normalize_cache_hits\": {}, \"steps_by_kind\": {{",
+             \"normalize_cache_hits\": {}, \"solver_facts_asserted\": {}, \
+             \"solver_merges\": {}, \"solver_undo_ops\": {}, \
+             \"solver_queries_incremental\": {}, \"solver_queries_rebuild\": {}, \
+             \"solver_verdict_hits\": {}, \"solver_verdict_misses\": {}, \
+             \"steps_by_kind\": {{",
             self.probes_attempted,
             self.probes_skipped,
             self.probes_indexed_hit,
@@ -278,6 +334,13 @@ impl CounterSnapshot {
             self.interner_misses,
             self.zonk_cache_hits,
             self.normalize_cache_hits,
+            self.solver_facts_asserted,
+            self.solver_merges,
+            self.solver_undo_ops,
+            self.solver_queries_incremental,
+            self.solver_queries_rebuild,
+            self.solver_verdict_hits,
+            self.solver_verdict_misses,
         );
         for (i, kind) in TraceKind::ALL.into_iter().enumerate() {
             if i > 0 {
@@ -557,6 +620,13 @@ impl TelemetrySession {
             interner_misses: c.interner_misses.load(Ordering::Relaxed),
             zonk_cache_hits: c.zonk_cache_hits.load(Ordering::Relaxed),
             normalize_cache_hits: c.normalize_cache_hits.load(Ordering::Relaxed),
+            solver_facts_asserted: c.solver_facts_asserted.load(Ordering::Relaxed),
+            solver_merges: c.solver_merges.load(Ordering::Relaxed),
+            solver_undo_ops: c.solver_undo_ops.load(Ordering::Relaxed),
+            solver_queries_incremental: c.solver_queries_incremental.load(Ordering::Relaxed),
+            solver_queries_rebuild: c.solver_queries_rebuild.load(Ordering::Relaxed),
+            solver_verdict_hits: c.solver_verdict_hits.load(Ordering::Relaxed),
+            solver_verdict_misses: c.solver_verdict_misses.load(Ordering::Relaxed),
             steps_by_kind: steps,
         }
     }
@@ -874,6 +944,39 @@ pub(crate) fn intern_stats(stats: diaframe_term::intern::InternStats) {
         s.counters
             .normalize_cache_hits
             .fetch_add(stats.normalize_cache_hits, Ordering::Relaxed);
+    });
+}
+
+/// Folds one interner scope's incremental-solver counters into the
+/// session (called by the verification and checker entry points at scope
+/// end, alongside [`intern_stats`]).
+#[inline]
+pub(crate) fn egraph_stats(stats: diaframe_term::solver::egraph::EGraphStats) {
+    if stats == diaframe_term::solver::egraph::EGraphStats::default() {
+        return;
+    }
+    with_session(|s| {
+        s.counters
+            .solver_facts_asserted
+            .fetch_add(stats.facts_asserted, Ordering::Relaxed);
+        s.counters
+            .solver_merges
+            .fetch_add(stats.merges, Ordering::Relaxed);
+        s.counters
+            .solver_undo_ops
+            .fetch_add(stats.undo_ops, Ordering::Relaxed);
+        s.counters
+            .solver_queries_incremental
+            .fetch_add(stats.queries_incremental, Ordering::Relaxed);
+        s.counters
+            .solver_queries_rebuild
+            .fetch_add(stats.queries_rebuild, Ordering::Relaxed);
+        s.counters
+            .solver_verdict_hits
+            .fetch_add(stats.verdict_hits, Ordering::Relaxed);
+        s.counters
+            .solver_verdict_misses
+            .fetch_add(stats.verdict_misses, Ordering::Relaxed);
     });
 }
 

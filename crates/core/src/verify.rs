@@ -164,6 +164,7 @@ fn verify_inner(
     let intern_scope = diaframe_term::intern::scope();
     let result = verify_goal(registry, specs, opts, ctx, spec);
     crate::telemetry::intern_stats(diaframe_term::intern::stats());
+    crate::telemetry::egraph_stats(diaframe_term::intern::egraph_stats());
     drop(intern_scope);
     result
 }

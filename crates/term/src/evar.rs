@@ -118,6 +118,20 @@ pub struct VarCtx {
     /// the one mutation [`VarCtx::rollback`] cannot undo. Used to decide
     /// whether a rollback restores the checkpoint's generation stamp.
     maps: u64,
+    /// Content fingerprint of the recorded solution map: the XOR of one
+    /// hash per `(evar, solution)` entry, maintained incrementally (XOR is
+    /// self-inverse, so erasing a solution re-XORs the same value). See
+    /// [`VarCtx::solution_fp`].
+    sol_fp: u64,
+}
+
+/// The fingerprint contribution of one solution entry.
+fn sol_entry_fp(e: EVarId, t: &Term) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    e.0.hash(&mut h);
+    t.hash(&mut h);
+    h.finish()
 }
 
 // `solves` and `generation` are deliberately excluded. `solves` counts
@@ -216,6 +230,9 @@ impl VarCtx {
     /// support, see [`VarCtx::push_raw_var`]).
     pub fn push_raw_evar(&mut self, sort: Sort, level: Level, solution: Option<Term>) -> EVarId {
         let id = EVarId(u32::try_from(self.evars.len()).expect("too many evars"));
+        if let Some(t) = &solution {
+            self.sol_fp ^= sol_entry_fp(id, t);
+        }
         self.evars.push(EVarInfo {
             sort,
             level,
@@ -298,6 +315,7 @@ impl VarCtx {
     pub fn solve_evar(&mut self, e: EVarId, t: Term) {
         let info = &mut self.evars[e.index()];
         assert!(info.solution.is_none(), "evar {e} solved twice");
+        self.sol_fp ^= sol_entry_fp(e, &t);
         info.solution = Some(t);
         self.solves += 1;
         self.generation = fresh_gen();
@@ -320,6 +338,22 @@ impl VarCtx {
         self.generation
     }
 
+    /// A content fingerprint of the recorded solution map: two contexts
+    /// with equal fingerprints hold the same `(evar, solution)` entries
+    /// (up to 64-bit hash collision, the same risk class as every other
+    /// memo key in [`crate::intern`]). Unlike [`VarCtx::generation`] —
+    /// which stamps mutation *events*, so two probes that reach the same
+    /// solution state through different solve/rollback histories get
+    /// different stamps — the fingerprint depends only on the state
+    /// itself: a speculative solve that is later re-done identically, or
+    /// two branch clones converging on the same instantiation, produce
+    /// the same fingerprint and therefore share every cache keyed on it
+    /// (zonk memo, entailment verdicts, the e-graph's asserted base).
+    #[must_use]
+    pub fn solution_fp(&self) -> u64 {
+        self.sol_fp
+    }
+
     /// Monotonic count of evar solve *events* in this context's history,
     /// **including** speculative solutions later erased by [`rollback`]
     /// (the counter is never decremented, and clones inherit it). This is
@@ -336,9 +370,12 @@ impl VarCtx {
     /// proof engine substitutes a universal variable away: solutions may
     /// mention it too).
     pub fn map_solutions(&mut self, f: impl Fn(&Term) -> Term) {
-        for info in &mut self.evars {
+        self.sol_fp = 0;
+        for (i, info) in self.evars.iter_mut().enumerate() {
             if let Some(sol) = &info.solution {
-                info.solution = Some(f(sol));
+                let sol = f(sol);
+                self.sol_fp ^= sol_entry_fp(EVarId(i as u32), &sol);
+                info.solution = Some(sol);
             }
         }
         self.maps += 1;
@@ -403,15 +440,23 @@ impl VarCtx {
         assert!(self.vars.len() >= mark.num_vars);
         assert!(self.evars.len() >= mark.num_evars);
         self.vars.truncate(mark.num_vars);
+        for (i, info) in self.evars.iter().enumerate().skip(mark.num_evars) {
+            if let Some(sol) = &info.solution {
+                self.sol_fp ^= sol_entry_fp(EVarId(i as u32), sol);
+            }
+        }
         self.evars.truncate(mark.num_evars);
         self.level = mark.level;
+        let mut erased_fp = 0u64;
         for (i, info) in self.evars.iter_mut().enumerate() {
             let id = EVarId(i as u32);
             if info.solution.is_some() && !mark.solved.contains(&id) {
+                erased_fp ^= sol_entry_fp(id, info.solution.as_ref().expect("checked"));
                 info.solution = None;
             }
             info.level = mark.levels[i];
         }
+        self.sol_fp ^= erased_fp;
         self.generation = if self.maps == mark.maps {
             mark.generation
         } else {

@@ -1,5 +1,5 @@
-//! Hash-consed term arena with generation-keyed zonk/normalize memo
-//! tables.
+//! Hash-consed term arena with solution-fingerprint-keyed zonk/normalize
+//! memo tables.
 //!
 //! The proof search spends its time matching hypotheses against hint
 //! patterns, unifying, and discharging pure obligations, and every one of
@@ -10,11 +10,14 @@
 //! * re-interning a term whose argument list is already canonical is a
 //!   single pointer-keyed hash lookup (the arena holds a strong `Arc` to
 //!   every canonical argument list, so data pointers are never reused);
-//! * zonk results are memoized per `(TermId, generation)`, where the
-//!   generation is [`VarCtx::generation`] — a stamp that changes exactly
-//!   when the set of recorded evar solutions may have changed (including
-//!   on rollback, which the `solve_events` effort counter deliberately
-//!   ignores and therefore cannot key a cache soundly);
+//! * zonk results are memoized per `(TermId, solution fingerprint)`,
+//!   where the fingerprint is [`VarCtx::solution_fp`] — a content hash of
+//!   the recorded evar-solution map, so two states that hold the same
+//!   solutions share entries even when they were reached through
+//!   different solve/rollback histories (the `solve_events` effort
+//!   counter never decreases and cannot key a cache soundly; the
+//!   event-stamping [`VarCtx::generation`] is sound but splits
+//!   identical states reached twice);
 //! * linear-arithmetic normal forms are memoized per zonked `TermId`
 //!   (normalising a fully-zonked term is purely structural, so no
 //!   generation key is needed);
@@ -24,8 +27,9 @@
 //!   without walking or allocating anything (see `needs_zonk`, which
 //!   applies the same test to un-interned terms);
 //! * pure-entailment verdicts are memoized per (solver fingerprint, goal,
-//!   generation), which is what turns the repeated side-condition checks
-//!   of the hint-matching probe loops into hash lookups.
+//!   solution fingerprint), which is what turns the repeated
+//!   side-condition checks of the hint-matching probe loops into hash
+//!   lookups.
 //!
 //! The arena is scoped: [`scope`] installs a fresh interner for the
 //! current thread and restores the previous one on drop. The verification
@@ -95,8 +99,8 @@ pub struct InternStats {
     pub interner_hits: u64,
     /// Intern requests that allocated a new arena entry.
     pub interner_misses: u64,
-    /// Zonk requests answered from the `(TermId, generation)` memo table
-    /// (including constant-time inert answers).
+    /// Zonk requests answered from the `(TermId, solution fingerprint)`
+    /// memo table (including constant-time inert answers).
     pub zonk_cache_hits: u64,
     /// Normalisation requests answered from the `TermId → LinComb` table.
     pub normalize_cache_hits: u64,
@@ -104,6 +108,10 @@ pub struct InternStats {
 
 #[derive(Default)]
 struct Interner {
+    /// Globally-unique stamp for this scope, so state keyed on this
+    /// scope's [`TermId`]s (the incremental e-graph) can detect that it
+    /// outlived the scope it was built in and must not trust its ids.
+    token: u64,
     entries: Vec<Entry>,
     /// Structural map for non-application terms (all small).
     leaves: HashMap<Term, TermId>,
@@ -120,18 +128,44 @@ struct Interner {
     zonk_cache: HashMap<(TermId, u64), TermId>,
     norm_cache: HashMap<TermId, LinComb>,
     /// Memoized pure-entailment verdicts, keyed by (solver facts
-    /// fingerprint, goal hash, solution generation) — see
+    /// fingerprint, goal hash, solution fingerprint) — see
     /// [`crate::solver::PureSolver`].
     pure_cache: HashMap<(u64, u64, u64), bool>,
     /// Pre-built refutation states over a solver's facts, keyed by
-    /// (solver facts fingerprint, solution generation). `None` marks a
+    /// (solver facts fingerprint, solution fingerprint). `None` marks a
     /// fact set the fast path cannot handle (disjunctive facts), so the
     /// build is not retried.
     pure_base: HashMap<(u64, u64), Option<crate::solver::PureBase>>,
+    /// Memoized e-graph entailment verdicts, keyed by (e-graph version,
+    /// goal hash, solution fingerprint) — the incremental analogue of
+    /// `pure_cache`; see [`crate::solver::egraph::EGraph`].
+    egraph_cache: HashMap<(u64, u64, u64), bool>,
+    /// Hash-consed e-graph version stamps: `(parent version, literal
+    /// hash) → version`. Two e-graphs that assert the same literal
+    /// sequence — a branch clone and its original, or an `Implies` goal
+    /// re-deriving the same hypothesis — reach the same version and share
+    /// memo entries, exactly as the fingerprint chaining of
+    /// [`crate::solver::PureSolver`] does.
+    egraph_versions: HashMap<(u64, u64), u64>,
+    /// Next unallocated e-graph version (0 is the empty e-graph).
+    next_version: u64,
+    /// Aggregated e-graph work counters for this scope; reported to
+    /// telemetry alongside [`InternStats`].
+    egraph_stats: crate::solver::egraph::EGraphStats,
     stats: InternStats,
 }
 
 impl Interner {
+    fn fresh() -> Interner {
+        use std::sync::atomic::AtomicU64;
+        static NEXT_SCOPE_TOKEN: AtomicU64 = AtomicU64::new(1);
+        Interner {
+            token: NEXT_SCOPE_TOKEN.fetch_add(1, Ordering::Relaxed),
+            next_version: 1,
+            ..Interner::default()
+        }
+    }
+
     fn intern(&mut self, t: &Term) -> TermId {
         match t {
             Term::App(sym, args) => {
@@ -224,10 +258,11 @@ impl Interner {
         id
     }
 
-    /// Memoized zonk on ids. Mirrors [`Term::zonk_structural`] exactly:
-    /// solved evars are chased recursively and `Fst`/`Snd` applied to a
-    /// `VPair` reduce to the corresponding (already zonked) component.
-    fn zonk_id(&mut self, ctx: &VarCtx, gen: u64, id: TermId) -> TermId {
+    /// Memoized zonk on ids, keyed under the caller's solution
+    /// fingerprint. Mirrors [`Term::zonk_structural`] exactly: solved
+    /// evars are chased recursively and `Fst`/`Snd` applied to a `VPair`
+    /// reduce to the corresponding (already zonked) component.
+    fn zonk_id(&mut self, ctx: &VarCtx, fp: u64, id: TermId) -> TermId {
         {
             let entry = &self.entries[id.index()];
             // Identity fast paths: no redex and either no evars at all,
@@ -243,7 +278,7 @@ impl Interner {
                 return id;
             }
         }
-        if let Some(&z) = self.zonk_cache.get(&(id, gen)) {
+        if let Some(&z) = self.zonk_cache.get(&(id, fp)) {
             self.stats.zonk_cache_hits += 1;
             return z;
         }
@@ -257,7 +292,7 @@ impl Interner {
                     Some(sol) => {
                         let sol = sol.clone();
                         let sid = self.intern(&sol);
-                        self.zonk_id(ctx, gen, sid)
+                        self.zonk_id(ctx, fp, sid)
                     }
                     None => id,
                 }
@@ -265,7 +300,7 @@ impl Interner {
             Node::App { sym, kids } => {
                 let (sym, kids) = (*sym, kids.clone());
                 let zkids: Box<[TermId]> =
-                    kids.iter().map(|k| self.zonk_id(ctx, gen, *k)).collect();
+                    kids.iter().map(|k| self.zonk_id(ctx, fp, *k)).collect();
                 let reduced = match (sym, zkids.first()) {
                     (Sym::Fst | Sym::Snd, Some(p)) => match &self.entries[p.index()].node {
                         Node::App {
@@ -282,7 +317,7 @@ impl Interner {
                 }
             }
         };
-        self.zonk_cache.insert((id, gen), out);
+        self.zonk_cache.insert((id, fp), out);
         out
     }
 }
@@ -343,7 +378,7 @@ pub fn scope() -> InternScope {
     if !env_enabled() || FORCE_OFF.load(Ordering::Relaxed) {
         return InternScope { saved: None };
     }
-    let prev = INTERNER.with(|slot| slot.borrow_mut().replace(Interner::default()));
+    let prev = INTERNER.with(|slot| slot.borrow_mut().replace(Interner::fresh()));
     InternScope { saved: Some(prev) }
 }
 
@@ -420,7 +455,7 @@ pub fn zonk(ctx: &VarCtx, t: &Term) -> Term {
     }
     with_active(|int| {
         let id = int.intern(t);
-        let z = int.zonk_id(ctx, ctx.generation(), id);
+        let z = int.zonk_id(ctx, ctx.solution_fp(), id);
         int.entries[z.index()].term.clone()
     })
     .unwrap_or_else(|| t.zonk_structural(ctx))
@@ -455,6 +490,57 @@ pub(crate) fn pure_base_put(key: (u64, u64), base: Option<crate::solver::PureBas
     let _ = with_active(|int| int.pure_base.insert(key, base));
 }
 
+/// The globally-unique token of the current scope's interner, or `None`
+/// when no scope is active. E-graphs record it at construction and refuse
+/// to serve queries under a different scope (their interned ids and
+/// version stamps would be meaningless there).
+#[must_use]
+pub fn scope_token() -> Option<u64> {
+    with_active(|int| int.token)
+}
+
+/// Looks up a memoized e-graph entailment verdict; `None` when no scope
+/// is active or the query has not been decided under this key yet.
+#[must_use]
+pub(crate) fn egraph_cache_get(key: &(u64, u64, u64)) -> Option<bool> {
+    with_active(|int| int.egraph_cache.get(key).copied()).flatten()
+}
+
+/// Records an e-graph entailment verdict (no-op without an active scope).
+pub(crate) fn egraph_cache_put(key: (u64, u64, u64), verdict: bool) {
+    let _ = with_active(|int| int.egraph_cache.insert(key, verdict));
+}
+
+/// The hash-consed e-graph version reached by asserting the literal with
+/// hash `lit_hash` on top of version `parent`; allocated on first use.
+/// `None` when no scope is active.
+#[must_use]
+pub(crate) fn egraph_version(parent: u64, lit_hash: u64) -> Option<u64> {
+    with_active(|int| {
+        let key = (parent, lit_hash);
+        if let Some(&v) = int.egraph_versions.get(&key) {
+            return v;
+        }
+        let v = int.next_version;
+        int.next_version += 1;
+        int.egraph_versions.insert(key, v);
+        v
+    })
+}
+
+/// Snapshot of the current scope's e-graph counters (zeroes when no scope
+/// is active).
+#[must_use]
+pub fn egraph_stats() -> crate::solver::egraph::EGraphStats {
+    with_active(|int| int.egraph_stats).unwrap_or_default()
+}
+
+/// Applies `f` to the current scope's e-graph counters (no-op without an
+/// active scope).
+pub(crate) fn egraph_stats_mut(f: impl FnOnce(&mut crate::solver::egraph::EGraphStats)) {
+    let _ = with_active(|int| f(&mut int.egraph_stats));
+}
+
 /// Memoized linear-arithmetic normalisation, keyed by the id of the
 /// zonked term (normalising a fully-zonked term is purely structural).
 /// `None` when no scope is active — the caller falls back to the
@@ -463,7 +549,7 @@ pub(crate) fn pure_base_put(key: (u64, u64), base: Option<crate::solver::PureBas
 pub fn normalize_memo(ctx: &VarCtx, t: &Term) -> Option<LinComb> {
     with_active(|int| {
         let id = int.intern(t);
-        let z = int.zonk_id(ctx, ctx.generation(), id);
+        let z = int.zonk_id(ctx, ctx.solution_fp(), id);
         if let Some(lc) = int.norm_cache.get(&z) {
             int.stats.normalize_cache_hits += 1;
             return lc.clone();
@@ -527,8 +613,8 @@ mod tests {
         ctx.solve_evar(e, Term::int(4));
         assert_eq!(t.zonk(&ctx), Term::add(Term::int(4), Term::int(1)));
         ctx.rollback(&mark);
-        // `solve_events` is unchanged by rollback, but the generation
-        // stamp is not — the stale entry must not be served.
+        // `solve_events` is unchanged by rollback, but the solution
+        // fingerprint is restored — the stale entry must not be served.
         assert_eq!(t.zonk(&ctx), t);
         ctx.solve_evar(e, Term::int(9));
         assert_eq!(t.zonk(&ctx), Term::add(Term::int(9), Term::int(1)));

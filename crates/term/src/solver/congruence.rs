@@ -3,8 +3,18 @@
 //! A small union-find based congruence closure used for the equality /
 //! disequality part of the pure solver: value-constructor injectivity and
 //! disjointness, literal conflicts, and the two-valuedness of booleans.
+//!
+//! The state is **backtrackable**: every `parent` write (unions and the
+//! path compression inside `find`) is recorded on an undo trail, so
+//! [`Congruence::rollback`] restores an earlier [`Congruence::mark`]
+//! exactly — node vector, id map, disequalities, derived facts, parent
+//! layout, and the contradiction flag all return to their marked state.
+//! That is what lets the incremental solver ([`crate::solver::egraph`])
+//! assert a query's goal literals directly into the long-lived base state
+//! and pop them afterwards instead of cloning the whole closure per query.
 
 use crate::evar::VarCtx;
+use crate::intern::TermId;
 use crate::pure::PureProp;
 use crate::sort::Sort;
 use crate::term::Term;
@@ -19,6 +29,27 @@ pub enum ClosureResult {
     Contradiction,
 }
 
+/// Key of the node-lookup map. When an interner scope is active, terms are
+/// keyed by their interned [`TermId`] (a 4-byte hash and comparison
+/// instead of a structural walk); otherwise by the term itself. A single
+/// [`Congruence`] instance never mixes the two regimes: it lives either
+/// entirely inside one scope (the incremental solver and the cached
+/// [`crate::solver::PureBase`] both do) or entirely outside one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum NodeKey {
+    Interned(TermId),
+    Structural(Term),
+}
+
+impl NodeKey {
+    fn of(t: &Term) -> NodeKey {
+        match crate::intern::term_id(t) {
+            Some(id) => NodeKey::Interned(id),
+            None => NodeKey::Structural(t.clone()),
+        }
+    }
+}
+
 /// The congruence-closure engine.
 ///
 /// Numeric-sorted equalities derived through injectivity (e.g. from
@@ -27,12 +58,28 @@ pub enum ClosureResult {
 #[derive(Debug, Clone, Default)]
 pub struct Congruence {
     nodes: Vec<Term>,
-    ids: HashMap<Term, usize>,
+    ids: HashMap<NodeKey, usize>,
     parent: Vec<usize>,
     /// Disequality edges (by node id).
     diseqs: Vec<(usize, usize)>,
     /// Numeric equalities derived by injectivity, as pure propositions.
     derived: Vec<PureProp>,
+    contradiction: bool,
+    /// Undo trail of `(index, previous parent)` pairs, one per `parent`
+    /// write. Entries above a mark are popped (newest first) on rollback.
+    trail: Vec<(usize, usize)>,
+    /// Total unions performed (monotonic; rollback does not decrement —
+    /// this counts work done, not classes merged in the surviving state).
+    unions: u64,
+}
+
+/// A point in a [`Congruence`]'s history; see [`Congruence::mark`].
+#[derive(Debug, Clone)]
+pub struct CongruenceMark {
+    nodes: usize,
+    diseqs: usize,
+    derived: usize,
+    trail: usize,
     contradiction: bool,
 }
 
@@ -44,12 +91,13 @@ impl Congruence {
     }
 
     fn node(&mut self, t: &Term) -> usize {
-        if let Some(&id) = self.ids.get(t) {
+        let key = NodeKey::of(t);
+        if let Some(&id) = self.ids.get(&key) {
             return id;
         }
         let id = self.nodes.len();
         self.nodes.push(t.clone());
-        self.ids.insert(t.clone(), id);
+        self.ids.insert(key, id);
         self.parent.push(id);
         // Register subterms too, so congruence can fire on them.
         if let Term::App(_, args) = t {
@@ -62,8 +110,17 @@ impl Congruence {
 
     fn find(&mut self, mut x: usize) -> usize {
         while self.parent[x] != x {
-            self.parent[x] = self.parent[self.parent[x]];
-            x = self.parent[x];
+            let p = self.parent[x];
+            let gp = self.parent[p];
+            if gp != p {
+                // Path halving is semantically redundant but its writes
+                // still go on the trail: rollback restores the parent
+                // layout bit-for-bit, so a rolled-back state is
+                // indistinguishable from one that never ran the query.
+                self.trail.push((x, p));
+                self.parent[x] = gp;
+            }
+            x = gp;
         }
         x
     }
@@ -72,8 +129,57 @@ impl Congruence {
         let ra = self.find(a);
         let rb = self.find(b);
         if ra != rb {
+            self.trail.push((ra, ra));
             self.parent[ra] = rb;
+            self.unions += 1;
         }
+    }
+
+    /// Captures the current state for a later [`Congruence::rollback`].
+    #[must_use]
+    pub fn mark(&self) -> CongruenceMark {
+        CongruenceMark {
+            nodes: self.nodes.len(),
+            diseqs: self.diseqs.len(),
+            derived: self.derived.len(),
+            trail: self.trail.len(),
+            contradiction: self.contradiction,
+        }
+    }
+
+    /// Restores the state captured by `mark`, undoing every later parent
+    /// write and removing every later node, disequality, and derived
+    /// fact. O(changes since the mark). Returns the number of undo
+    /// operations performed (for telemetry).
+    pub fn rollback(&mut self, mark: &CongruenceMark) -> u64 {
+        let mut undone = 0u64;
+        while self.trail.len() > mark.trail {
+            let (idx, old) = self.trail.pop().expect("trail length checked");
+            // Writes to nodes that are themselves being removed need no
+            // restore; the truncation below drops them.
+            if idx < mark.nodes {
+                self.parent[idx] = old;
+            }
+            undone += 1;
+        }
+        for i in (mark.nodes..self.nodes.len()).rev() {
+            self.ids.remove(&NodeKey::of(&self.nodes[i]));
+            undone += 1;
+        }
+        self.nodes.truncate(mark.nodes);
+        self.parent.truncate(mark.nodes);
+        undone += (self.diseqs.len().saturating_sub(mark.diseqs)
+            + self.derived.len().saturating_sub(mark.derived)) as u64;
+        self.diseqs.truncate(mark.diseqs);
+        self.derived.truncate(mark.derived);
+        self.contradiction = mark.contradiction;
+        undone
+    }
+
+    /// Total unions performed over this instance's lifetime (monotonic).
+    #[must_use]
+    pub fn union_count(&self) -> u64 {
+        self.unions
     }
 
     /// Asserts an equality between two terms.

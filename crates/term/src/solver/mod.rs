@@ -9,6 +9,7 @@
 //! instantiate existentials (`⌜q = p + 1⌝` solves `?q`).
 
 pub mod congruence;
+pub mod egraph;
 pub mod linear;
 
 use crate::evar::VarCtx;
@@ -18,7 +19,7 @@ use congruence::{ClosureResult, Congruence};
 use linear::{LinResult, Linear};
 
 /// Maximum depth of disjunctive fact splitting.
-const MAX_OR_DEPTH: usize = 4;
+pub(crate) const MAX_OR_DEPTH: usize = 4;
 
 /// A solver over a fixed set of hypotheses.
 #[derive(Debug, Clone, Default)]
@@ -37,7 +38,7 @@ pub struct PureSolver {
     has_evars: bool,
 }
 
-fn prop_hash(p: &PureProp) -> u64 {
+pub(crate) fn prop_hash(p: &PureProp) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
     p.hash(&mut h);
@@ -58,20 +59,16 @@ impl PureSolver {
 
     /// Adds a hypothesis.
     pub fn add_fact(&mut self, p: PureProp) {
-        match p {
-            PureProp::True => {}
-            PureProp::And(a, b) => {
-                self.add_fact(*a);
-                self.add_fact(*b);
-            }
-            PureProp::Not(a) => self.add_fact(a.negated()),
-            PureProp::Implies(a, b) => self.add_fact(PureProp::or(a.negated(), *b)),
-            other => {
-                self.fp = self.fp.rotate_left(7) ^ prop_hash(&other);
-                self.has_evars |= other.has_evars();
-                self.facts.push(other);
-            }
-        }
+        let PureSolver {
+            facts,
+            fp,
+            has_evars,
+        } = self;
+        normalize_fact(p, &mut |other| {
+            *fp = fp.rotate_left(7) ^ prop_hash(&other);
+            *has_evars |= other.has_evars();
+            facts.push(other);
+        });
     }
 
     /// The recorded literal/disjunctive facts.
@@ -145,16 +142,17 @@ impl PureSolver {
     ///
     /// The verdict depends only on the recorded facts, the goal, and the
     /// current evar solutions, so when an interner scope is active it is
-    /// memoized under `(facts fingerprint, goal hash, generation)`, and
-    /// the facts' share of the refutation state is reused across goals
-    /// (see [`PureBase`]).
-    /// The generation component of this solver's memo keys: 0 (a stamp no
-    /// live context carries after its first solve, and under which a
-    /// ground query's verdict is correct anyway) when the query mentions
-    /// no evar at all, making the entry hit across solve/rollback churn.
+    /// memoized under `(facts fingerprint, goal hash, solution
+    /// fingerprint)`, and the facts' share of the refutation state is
+    /// reused across goals (see [`PureBase`]).
+    /// The solution component of this solver's memo keys: 0 when the
+    /// query mentions no evar at all (solutions cannot matter), and the
+    /// content fingerprint of the solution map ([`VarCtx::solution_fp`])
+    /// otherwise — two probes that instantiate the same evars the same
+    /// way share the entry even across intervening rollbacks.
     fn key_gen(&self, ctx: &VarCtx, goal: &PureProp) -> u64 {
         if self.has_evars || goal.has_evars() {
-            ctx.generation()
+            ctx.solution_fp()
         } else {
             0
         }
@@ -195,7 +193,7 @@ impl PureSolver {
         }
         let bkey = (
             self.fp,
-            if self.has_evars { ctx.generation() } else { 0 },
+            if self.has_evars { ctx.solution_fp() } else { 0 },
         );
         let base = match crate::intern::pure_base_get(&bkey) {
             Some(cached) => cached?,
@@ -233,8 +231,27 @@ impl PureSolver {
     }
 }
 
+/// Hypothesis normalisation, shared between [`PureSolver::add_fact`] and
+/// the incremental [`egraph::EGraph`] (which must store the *identical*
+/// literal sequence to guarantee identical verdicts): `True` is dropped,
+/// conjunctions are split, negations are pushed inward, and implications
+/// become stored disjunctions. Each surviving fact is handed to `out` in
+/// order.
+pub(crate) fn normalize_fact(p: PureProp, out: &mut impl FnMut(PureProp)) {
+    match p {
+        PureProp::True => {}
+        PureProp::And(a, b) => {
+            normalize_fact(*a, out);
+            normalize_fact(*b, out);
+        }
+        PureProp::Not(a) => normalize_fact(a.negated(), out),
+        PureProp::Implies(a, b) => normalize_fact(PureProp::or(a.negated(), *b), out),
+        other => out(other),
+    }
+}
+
 /// Checks unsatisfiability of a conjunction of (possibly disjunctive) facts.
-fn unsat(ctx: &mut VarCtx, facts: &[PureProp], or_budget: usize) -> bool {
+pub(crate) fn unsat(ctx: &mut VarCtx, facts: &[PureProp], or_budget: usize) -> bool {
     // Split on the first disjunctive fact, if any.
     for (i, f) in facts.iter().enumerate() {
         if let PureProp::Or(a, b) = f {
@@ -281,7 +298,7 @@ fn unsat(ctx: &mut VarCtx, facts: &[PureProp], or_budget: usize) -> bool {
 /// dispatch both the scratch build ([`unsat`]) and the cached-base build
 /// ([`PureBase`]) go through, so the two construct bitwise-identical
 /// states.
-fn add_literal(cc: &mut Congruence, lin: &mut Linear, ctx: &VarCtx, f: &PureProp) {
+pub(crate) fn add_literal(cc: &mut Congruence, lin: &mut Linear, ctx: &VarCtx, f: &PureProp) {
     match f {
         PureProp::Eq(a, b) => {
             if a.zonk(ctx).sort(ctx).is_numeric() {
@@ -336,7 +353,7 @@ impl PureBase {
     }
 }
 
-fn flatten_literal(p: &PureProp, out: &mut Vec<PureProp>) {
+pub(crate) fn flatten_literal(p: &PureProp, out: &mut Vec<PureProp>) {
     match p {
         PureProp::True => {}
         PureProp::And(a, b) => {
