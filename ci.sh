@@ -21,7 +21,16 @@
 #      `DIAFRAME_EGRAPH=off` (rebuild-per-query solver), and the
 #      egraph_identity test must show byte-identical traces between the
 #      two solver paths
-#   8. the soundness-fuzzing smoke gate: a fixed-seed fuzz_driver
+#   8. the intra-verification-parallelism gate: the suite must verify
+#      with speculation and pipelined checking forced off
+#      (`DIAFRAME_SPECULATE=off DIAFRAME_PIPELINE_CHECK=off`), the
+#      speculation_identity test must show byte-identical traces and
+#      tables across the switches, and a `--jobs 4` run must engage
+#      speculation (non-zero `spec_spawned`) while its slowest single
+#      example stays within 5x of the committed baseline (generous:
+#      an oversubscribed single-core CI box inflates per-example wall
+#      time ~3x at `--jobs 4`; a search blowup is orders of magnitude)
+#   9. the soundness-fuzzing smoke gate: a fixed-seed fuzz_driver
 #      campaign must report zero differential divergences and zero
 #      surviving trace mutants, and two runs at the same seed must
 #      produce byte-identical JSON reports
@@ -77,7 +86,7 @@ awk -v cur="$current_max" -v base="$baseline_max" 'BEGIN {
 rm -f target/telemetry.jsonl
 DIAFRAME_TELEMETRY=target/telemetry.jsonl \
   cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out target/BENCH_figure6_telemetry.json > /dev/null
-grep -q '"schema": "diaframe-bench/figure6/v4"' target/BENCH_figure6_telemetry.json
+grep -q '"schema": "diaframe-bench/figure6/v5"' target/BENCH_figure6_telemetry.json
 grep -q '"telemetry": { "probes_attempted": [1-9]' target/BENCH_figure6_telemetry.json
 grep -q '"interner_hits": [1-9]' target/BENCH_figure6_telemetry.json
 grep -q '"zonk_cache_hits": [0-9]' target/BENCH_figure6_telemetry.json
@@ -108,6 +117,38 @@ DIAFRAME_EGRAPH=off \
 test "$(grep -c '"search_ms"' target/BENCH_figure6_off.json)" -eq \
      "$(grep -c '"search_ms"' target/BENCH_figure6.json)"
 cargo test --release -p diaframe-bench --test egraph_identity -q
+
+# --- intra-verification-parallelism gate (see README "Parallelism") ------
+# Both escape hatches at once: the fully-serial path (no speculative
+# branch workers, search-then-check) must still carry the whole suite.
+DIAFRAME_SPECULATE=off DIAFRAME_PIPELINE_CHECK=off \
+  cargo run --release -p diaframe-bench --bin figure6 -- --json-out target/BENCH_figure6_serial.json > /dev/null
+test "$(grep -c '"search_ms"' target/BENCH_figure6_serial.json)" -eq \
+     "$(grep -c '"search_ms"' target/BENCH_figure6.json)"
+# Byte-identity of traces and tables across the speculation and pipeline
+# switches, by name so a failure points at the parallelism layer.
+cargo test --release -p diaframe-bench --test speculation_identity -q
+# A `--jobs 4` run must actually engage speculation (the pool drains and
+# tail stragglers inherit freed budget units) and resolve every spawn,
+# with the spec counters landing in the v5 snapshot.
+cargo run --release -p diaframe-bench --bin figure6 -- --all --jobs 4 \
+  --json-out target/BENCH_figure6_jobs4.json > /dev/null
+grep -q '"spec_spawned": [1-9]' target/BENCH_figure6_jobs4.json
+grep -q '"spec_won": [0-9]' target/BENCH_figure6_jobs4.json
+grep -q '"check_overlap_ms": [0-9]' target/BENCH_figure6_jobs4.json
+# The slowest-single-example bound at --jobs 4, alongside the --jobs 1
+# (default) gate above. 5x headroom: on a single-core CI box four pool
+# workers plus speculative branch workers oversubscribe the CPU and
+# inflate one example's wall time ~3x; a genuine per-example search
+# blowup (exponential case split, solver loop) lands far beyond 5x.
+current_max4=$(max_search_ms target/BENCH_figure6_jobs4.json)
+awk -v cur="$current_max4" -v base="$baseline_max" 'BEGIN {
+  if (cur > 5.0 * base) {
+    printf "ci: perf regression: slowest example search_ms %.3f at --jobs 4 > 5x committed baseline %.3f\n", cur, base
+    exit 1
+  }
+  printf "ci: perf gate ok: slowest example search_ms %.3f at --jobs 4 (committed baseline %.3f)\n", cur, base
+}'
 
 # --- soundness-fuzzing smoke gate (see EXPERIMENTS.md "Soundness harness") --
 # Fixed seed: ~200 generated entailments through the differential oracle

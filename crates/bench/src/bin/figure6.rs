@@ -4,7 +4,8 @@
 //! ```text
 //! cargo run -p diaframe-bench --bin figure6 -- \
 //!     [--aggregate] [--failing] [--ablation] [--all] \
-//!     [--jobs N] [--json] [--json-out PATH] [--explain EXAMPLE]
+//!     [--jobs N] [--json] [--json-out PATH] [--explain EXAMPLE] \
+//!     [--jobs-sweep 1,2,4,8] [--sweep-out PATH]
 //! ```
 //!
 //! The suite is verified once, in parallel (`--jobs`, default
@@ -18,10 +19,16 @@
 //! telemetry session, printing the structured stuck report
 //! (`Stuck::render_explain`): the unmatched goal head, the hypotheses
 //! the search kept failing to key on, and the search-effort counters.
+//! `--jobs-sweep 1,2,4,8` skips the normal tables and instead re-runs
+//! the whole suite once per worker count from a fresh cache, reporting
+//! how the suite wall-clock *and the slowest single example* scale;
+//! `--sweep-out PATH` writes the machine-readable sweep (schema
+//! `diaframe-bench/jobs-sweep/v1`, the committed
+//! `BENCH_jobs_sweep.json`).
 
 use diaframe_bench::{
-    ablation_table, aggregate_table, failing_table, figure6_json, figure6_table,
-    prefetch_ablations, prefetch_suite, SuiteCache,
+    ablation_table, aggregate_table, failing_table, figure6_json, figure6_table, jobs_sweep_json,
+    prefetch_ablations, prefetch_suite, render_jobs_sweep, run_jobs_sweep, SuiteCache,
 };
 use diaframe_core::TelemetrySession;
 use diaframe_examples::all_examples;
@@ -81,6 +88,37 @@ fn main() {
         .position(|a| a == "--json-out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+
+    if let Some(list) = args
+        .iter()
+        .position(|a| a == "--jobs-sweep")
+        .and_then(|i| args.get(i + 1))
+    {
+        let levels: Vec<usize> = list
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse::<usize>()
+                    .map(|n| n.max(1))
+                    .unwrap_or_else(|_| panic!("--jobs-sweep: bad worker count {v:?}"))
+            })
+            .collect();
+        assert!(!levels.is_empty(), "--jobs-sweep: empty level list");
+        let sweep = run_jobs_sweep(&levels, false);
+        println!("== jobs-scaling sweep ==");
+        println!("{}", render_jobs_sweep(&sweep));
+        if let Some(path) = args
+            .iter()
+            .position(|a| a == "--sweep-out")
+            .and_then(|i| args.get(i + 1))
+        {
+            let snapshot = jobs_sweep_json(&sweep);
+            std::fs::write(path, &snapshot)
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("[jobs-sweep snapshot written to {path}]");
+        }
+        return;
+    }
 
     let all = has("--all");
     let (failing, ablation, aggregate) = (has("--failing"), has("--ablation"), has("--aggregate"));

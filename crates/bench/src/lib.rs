@@ -344,7 +344,7 @@ fn ms(d: Duration) -> String {
 }
 
 /// Serializes the Figure 6 run as JSON (schema
-/// `diaframe-bench/figure6/v4`) for committing as a `BENCH_*.json`
+/// `diaframe-bench/figure6/v5`) for committing as a `BENCH_*.json`
 /// snapshot: per-example search/check/total timings and search-effort
 /// counters, the run's worker count, stack size, wall-clock, cache
 /// accounting, and the suite-wide counter aggregate.
@@ -362,7 +362,16 @@ fn ms(d: Duration) -> String {
 /// `solver_verdict_misses`); timings in a v4 snapshot are measured with
 /// the persistent backtrackable e-graph solver active
 /// (`DIAFRAME_EGRAPH` unset) and are not comparable to v3 timings run
-/// on the rebuild-per-query path.
+/// on the rebuild-per-query path. v5 adds the intra-verification
+/// parallelism counters (`spec_spawned`/`spec_won`/`spec_cancelled`/
+/// `spec_wasted_probes`/`check_overlap_ms`) to every telemetry block;
+/// timings in a v5 snapshot are measured with speculative branch search
+/// and pipelined checking active (`DIAFRAME_SPECULATE` and
+/// `DIAFRAME_PIPELINE_CHECK` unset), which changes wall-clock but never
+/// traces or verdicts. The per-example jobs-scaling sweep lives in a
+/// separate snapshot (see [`jobs_sweep_json`], schema
+/// `diaframe-bench/jobs-sweep/v1`), keeping this file's shape stable
+/// for per-field consumers.
 ///
 /// # Panics
 ///
@@ -379,7 +388,7 @@ pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
         aggregate.merge(&m.counters);
     }
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/figure6/v4\",");
+    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/figure6/v5\",");
     let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(
         out,
@@ -409,6 +418,141 @@ pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
             ms(m.time + m.check_time),
             m.counters.json_object(),
             if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One level of the jobs-scaling sweep: the whole suite re-verified from
+/// a fresh cache at one worker count.
+#[derive(Debug)]
+pub struct SweepLevel {
+    /// The worker count this level ran at.
+    pub jobs: usize,
+    /// Suite wall-clock at this level.
+    pub wall: Duration,
+    /// The per-example rows measured at this level.
+    pub rows: Vec<Measured>,
+}
+
+impl SweepLevel {
+    /// The example with the largest search+check time at this level —
+    /// the suite's critical path once `jobs` exceeds the example count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty row set (the suite always has examples).
+    #[must_use]
+    pub fn slowest(&self) -> &Measured {
+        self.rows
+            .iter()
+            .max_by_key(|m| m.time + m.check_time)
+            .expect("sweep level with no rows")
+    }
+
+    /// Sum of per-example search times at this level.
+    #[must_use]
+    pub fn aggregate_search(&self) -> Duration {
+        self.rows.iter().map(|m| m.time).sum()
+    }
+}
+
+/// Runs the whole suite once per entry of `levels`, each from a **fresh**
+/// cache (so every level re-verifies everything), and collects the
+/// scaling data. This is the `figure6 --jobs-sweep` backend: it answers
+/// both "does the suite scale?" (`wall`) and — the interesting question
+/// for intra-verification parallelism — "does the *slowest single
+/// example* scale?", which spec-level fan-out alone cannot improve.
+#[must_use]
+pub fn run_jobs_sweep(levels: &[usize], include_broken: bool) -> Vec<SweepLevel> {
+    levels
+        .iter()
+        .map(|&jobs| {
+            let cache = SuiteCache::new();
+            let wall = prefetch_suite(&cache, jobs, include_broken);
+            SweepLevel {
+                jobs,
+                wall,
+                rows: figure6_rows(&cache),
+            }
+        })
+        .collect()
+}
+
+/// Renders the jobs-scaling sweep as a human-readable table.
+#[must_use]
+pub fn render_jobs_sweep(levels: &[SweepLevel]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} | {:>10} {:>12} | {:<24} {:>10}",
+        "jobs", "suite wall", "sum(search)", "slowest example", "its time"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(72));
+    for l in levels {
+        let slow = l.slowest();
+        let _ = writeln!(
+            out,
+            "{:<6} | {:>10.2?} {:>12.2?} | {:<24} {:>10.2?}",
+            l.jobs,
+            l.wall,
+            l.aggregate_search(),
+            slow.name,
+            slow.time + slow.check_time,
+        );
+    }
+    out.push_str(
+        "\nsum(search) is per-example search time summed (the work done);\nslowest-example time shrinking as jobs grow is intra-verification\nparallelism — spec-level fan-out alone cannot speed up one example.\n",
+    );
+    out
+}
+
+/// Serializes a jobs-scaling sweep as JSON (schema
+/// `diaframe-bench/jobs-sweep/v1`) for committing as
+/// `BENCH_jobs_sweep.json` — deliberately a separate snapshot from
+/// [`figure6_json`], whose per-run shape (one `search_ms` per example)
+/// per-field consumers rely on.
+#[must_use]
+pub fn jobs_sweep_json(levels: &[SweepLevel]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/jobs-sweep/v1\",");
+    let _ = writeln!(out, "  \"levels\": [");
+    for (i, l) in levels.iter().enumerate() {
+        let slow = l.slowest();
+        let _ = writeln!(out, "    {{ \"jobs\": {},", l.jobs);
+        let _ = writeln!(out, "      \"suite_wall_ms\": {},", ms(l.wall));
+        let _ = writeln!(
+            out,
+            "      \"aggregate_search_ms\": {},",
+            ms(l.aggregate_search())
+        );
+        let _ = writeln!(
+            out,
+            "      \"slowest_example\": {{ \"name\": \"{}\", \"search_ms\": {}, \"total_ms\": {} }},",
+            json_escape(slow.name),
+            ms(slow.time),
+            ms(slow.time + slow.check_time)
+        );
+        let _ = writeln!(out, "      \"examples\": [");
+        for (j, m) in l.rows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{ \"name\": \"{}\", \"search_ms\": {}, \"check_ms\": {}, \"total_ms\": {}, \"spec_spawned\": {}, \"spec_won\": {}, \"check_overlap_ms\": {} }}{}",
+                json_escape(m.name),
+                ms(m.time),
+                ms(m.check_time),
+                ms(m.time + m.check_time),
+                m.counters.spec_spawned,
+                m.counters.spec_won,
+                m.counters.check_overlap_ms,
+                if j + 1 == l.rows.len() { "" } else { "," }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "      ]\n    }}{}",
+            if i + 1 == levels.len() { "" } else { "," }
         );
     }
     out.push_str("  ]\n}\n");

@@ -10,7 +10,7 @@
 //! whatever `jobs` was.
 
 use crate::cache::{SuiteCache, Variant};
-use diaframe_core::{run_ordered, with_ablation_override, Ablation};
+use diaframe_core::{collect_ordered, run_ordered, with_ablation_override, Ablation};
 use diaframe_examples::all_examples;
 use std::time::{Duration, Instant};
 
@@ -74,10 +74,14 @@ pub fn prefetch_suite(cache: &SuiteCache, jobs: usize, include_broken: bool) -> 
     });
     let wall = t0.elapsed();
     // `get_or_run` contains panics itself, so a worker-level panic here
-    // is a harness bug, not a failing example.
-    for r in results {
-        r.expect("suite driver job panicked");
-    }
+    // is a harness bug, not a failing example. Aggregate deterministically:
+    // every panicked task, in task order, payload verbatim — the report
+    // is the same whatever `jobs` was and however the pool interleaved.
+    collect_ordered(results, |t| {
+        let (i, variant) = tasks[t];
+        format!("{} ({variant:?})", examples[i].name())
+    })
+    .unwrap_or_else(|e| panic!("suite driver job panicked: {e}"));
     assert_counter_invariants(cache);
     wall
 }
@@ -121,9 +125,11 @@ pub fn prefetch_ablations(cache: &SuiteCache, jobs: usize) -> Duration {
         });
     });
     let wall = t0.elapsed();
-    for r in results {
-        r.expect("ablation driver job panicked");
-    }
+    collect_ordered(results, |t| {
+        let (ab, i) = tasks[t];
+        format!("{} under {ab:?}", examples[i].name())
+    })
+    .unwrap_or_else(|e| panic!("ablation driver job panicked: {e}"));
     assert_counter_invariants(cache);
     wall
 }

@@ -1,0 +1,168 @@
+//! Intra-verification parallelism must be a pure accelerator: running
+//! the search with speculative branch workers (and with the pipelined
+//! checker in either of its modes) must produce byte-identical proof
+//! traces and Figure 6 tables to the serial path, example by example,
+//! across the whole suite. Only wall-clock attribution and the `spec_*`
+//! effort counters may move.
+//!
+//! Both switches are process-global (`speculate::force_disable`, the
+//! pipeline overrides), so the two tests serialize on a file-local lock
+//! rather than trampling each other's configuration mid-run.
+
+use diaframe_bench::{figure6_rows, prefetch_suite, render_figure6, Measured, SuiteCache};
+use diaframe_core::{speculate, trace_json, verify, CounterSnapshot, TelemetrySession};
+use diaframe_examples::all_examples;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+static CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    CONFIG_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Verifies every Figure 6 example twice — speculation allowed under a
+/// generous budget, then forced serial — and demands byte-identical
+/// trace JSON from both runs. The speculative traces are also replayed
+/// through the independent checker from their JSON form, so the
+/// comparison covers the exact bytes a `--json-out` consumer would see.
+/// The telemetry session pins that speculation actually fired (the test
+/// would be vacuous otherwise) and that every spawn was resolved
+/// (`spec_spawned == spec_won + spec_cancelled`).
+#[test]
+fn speculative_and_serial_traces_are_byte_identical() {
+    let _lock = lock();
+    let examples = all_examples();
+    let session = TelemetrySession::new("speculation-identity");
+    let mut compared_proofs = 0usize;
+    for ex in &examples {
+        // A budget well above the split fan-out: every 2-way case split
+        // may speculate, maximizing the surface compared below.
+        let budget = diaframe_core::budget_scope(8);
+        let guard = session.install();
+        let speculative = ex.verify();
+        drop(guard);
+        drop(budget);
+        let speculative =
+            speculative.unwrap_or_else(|e| panic!("{} (speculative): {e}", ex.name()));
+
+        speculate::force_disable(true);
+        let serial = ex.verify();
+        speculate::force_disable(false);
+        let serial = serial.unwrap_or_else(|e| panic!("{} (serial): {e}", ex.name()));
+
+        assert_eq!(
+            speculative.manual_steps,
+            serial.manual_steps,
+            "{}: manual-step count changed",
+            ex.name()
+        );
+        assert_eq!(
+            speculative.proofs.len(),
+            serial.proofs.len(),
+            "{}: proof count changed",
+            ex.name()
+        );
+        for (a, b) in speculative.proofs.iter().zip(&serial.proofs) {
+            assert_eq!(a.name, b.name, "{}", ex.name());
+            let ja = trace_json::trace_to_json(&a.trace);
+            let jb = trace_json::trace_to_json(&b.trace);
+            assert_eq!(
+                ja,
+                jb,
+                "{}/{}: trace JSON differs between speculative and serial search",
+                ex.name(),
+                a.name
+            );
+            diaframe_core::checker::check_json(&ja).unwrap_or_else(|e| {
+                panic!("{}/{}: speculative trace fails replay: {e}", ex.name(), a.name)
+            });
+            compared_proofs += 1;
+        }
+    }
+    assert!(
+        compared_proofs >= 24,
+        "expected at least one proof per example, compared {compared_proofs}"
+    );
+
+    session.flush();
+    let snap = session.snapshot();
+    assert!(
+        snap.spec_spawned > 0,
+        "no speculation fired across the whole suite — the identity test is vacuous"
+    );
+    snap.check_invariants()
+        .unwrap_or_else(|e| panic!("speculation counters violate invariants: {e}"));
+}
+
+fn zeroed(mut m: Measured) -> Measured {
+    m.time = Duration::ZERO;
+    m.check_time = Duration::ZERO;
+    m.counters.check_overlap_ms = 0;
+    m
+}
+
+fn scrubbed(mut m: Measured) -> Measured {
+    m = zeroed(m);
+    m.counters = CounterSnapshot::default();
+    m
+}
+
+fn rows_with_pipeline(check: Option<bool>, frames: Option<bool>) -> Vec<Measured> {
+    verify::override_pipeline_check(check);
+    verify::override_pipeline_frames(frames);
+    let cache = SuiteCache::new();
+    prefetch_suite(&cache, 2, true);
+    verify::override_pipeline_check(None);
+    verify::override_pipeline_frames(None);
+    figure6_rows(&cache)
+}
+
+/// The pipelined checker — per-spec trace streaming and the
+/// frame-streaming mode — must leave every Figure 6 row untouched.
+///
+/// Per-spec pipelining vs the serial check is compared on *full* rows
+/// (every counter included, timings zeroed): the consumer replays the
+/// same proofs under the same kind of fresh interner scope, so nothing
+/// but wall-clock may move. The frames mode replays all of a run's step
+/// windows inside one long-lived interner scope (deliberately, for
+/// cache reuse), which legitimately shifts interner effort counters —
+/// so it is compared on rows with counters scrubbed plus the rendered
+/// table, which pins names, line counts, manual steps, hints and spec
+/// counts byte-for-byte.
+#[test]
+fn pipelined_checking_leaves_tables_byte_identical() {
+    let _lock = lock();
+    // Speculation off throughout: its effort counters depend on permit
+    // availability (see tests/driver_equivalence.rs); this test isolates
+    // the pipeline switches.
+    speculate::force_disable(true);
+    let piped = rows_with_pipeline(Some(true), None);
+    let serial = rows_with_pipeline(Some(false), None);
+    let frames = rows_with_pipeline(Some(true), Some(true));
+    speculate::force_disable(false);
+
+    let piped_rows: Vec<Measured> = piped.into_iter().map(zeroed).collect();
+    let serial_rows: Vec<Measured> = serial.into_iter().map(zeroed).collect();
+    assert_eq!(
+        piped_rows, serial_rows,
+        "per-spec pipelined rows must match serially-checked rows, counters included"
+    );
+    assert_eq!(
+        render_figure6(&piped_rows),
+        render_figure6(&serial_rows),
+        "rendered tables must be byte-identical"
+    );
+
+    let frames_rows: Vec<Measured> = frames.into_iter().map(scrubbed).collect();
+    let base_rows: Vec<Measured> = serial_rows.into_iter().map(scrubbed).collect();
+    assert_eq!(
+        frames_rows, base_rows,
+        "frame-streamed rows must match serially-checked rows"
+    );
+    assert_eq!(
+        render_figure6(&frames_rows),
+        render_figure6(&base_rows),
+        "rendered tables must be byte-identical under frame streaming"
+    );
+}

@@ -197,10 +197,52 @@ fn reuse_or_rebuild<'a>(
     slot.as_mut().expect("just assigned Some")
 }
 
-/// The shared replay core: every checker entry point funnels here.
-fn replay(steps: &[TraceStep]) -> Result<(), CheckError> {
-    let mut stack: Vec<Frame> = vec![Frame::root()];
-    for (i, step) in steps.iter().enumerate() {
+/// The shared replay core as an **incremental** state machine: feed
+/// steps one at a time, then [`Replay::finish`] to validate the
+/// end-of-trace conditions. Every checker entry point funnels through
+/// this type — [`check`]/[`check_json`] feed a finished trace in one
+/// loop, and the bench harness's pipelined-checking consumer feeds steps
+/// as the search streams them, overlapping replay with the remaining
+/// search. Incrementality changes *when* steps are validated, never the
+/// verdict: feeding a trace step-by-step is literally the same loop.
+pub struct Replay {
+    stack: Vec<Frame>,
+    steps_seen: usize,
+}
+
+impl Default for Replay {
+    fn default() -> Replay {
+        Replay::new()
+    }
+}
+
+impl Replay {
+    /// A replay at the start of a trace.
+    #[must_use]
+    pub fn new() -> Replay {
+        Replay {
+            stack: vec![Frame::root()],
+            steps_seen: 0,
+        }
+    }
+
+    /// How many steps have been fed so far (error indices count from the
+    /// start of the trace, matching the batch entry points).
+    #[must_use]
+    pub fn steps_seen(&self) -> usize {
+        self.steps_seen
+    }
+
+    /// Validates one more step of the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure for this step; the replay should
+    /// be discarded afterwards.
+    pub fn feed(&mut self, step: &TraceStep) -> Result<(), CheckError> {
+        let i = self.steps_seen;
+        self.steps_seen += 1;
+        let stack = &mut self.stack;
         let frame = stack.last_mut().expect("non-empty stack");
         match step {
             TraceStep::PureObligation { facts, goal, vars } => {
@@ -292,23 +334,42 @@ fn replay(steps: &[TraceStep]) -> Result<(), CheckError> {
             }
             _ => {}
         }
+        Ok(())
     }
-    if stack.len() != 1 {
-        return Err(CheckError {
-            step: steps.len(),
-            message: "unbalanced branches at end of trace".into(),
-        });
-    }
-    let root = stack.pop().expect("single frame");
-    if !root.vacuous {
-        if let Some(ns) = root.obligations.iter().next() {
+
+    /// Validates the end-of-trace conditions: balanced branches and no
+    /// invariant left open on the root frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckError`] at the one-past-the-end step index.
+    pub fn finish(mut self) -> Result<(), CheckError> {
+        if self.stack.len() != 1 {
             return Err(CheckError {
-                step: steps.len(),
-                message: format!("invariant {ns} left open at end of trace"),
+                step: self.steps_seen,
+                message: "unbalanced branches at end of trace".into(),
             });
         }
+        let root = self.stack.pop().expect("single frame");
+        if !root.vacuous {
+            if let Some(ns) = root.obligations.iter().next() {
+                return Err(CheckError {
+                    step: self.steps_seen,
+                    message: format!("invariant {ns} left open at end of trace"),
+                });
+            }
+        }
+        Ok(())
     }
-    Ok(())
+}
+
+/// Batch replay of a finished trace: feed every step, then finish.
+fn replay(steps: &[TraceStep]) -> Result<(), CheckError> {
+    let mut r = Replay::new();
+    for step in steps {
+        r.feed(step)?;
+    }
+    r.finish()
 }
 
 /// Replays and validates a trace.

@@ -109,6 +109,31 @@ impl ProofCtx {
         }
     }
 
+    /// A clone of the proof state for a speculative branch worker on
+    /// another thread: all *proof* state (variables, masks, hypotheses,
+    /// facts, symbolic heaps) is copied, while the thread-affine solver
+    /// caches are dropped. The caches live in the spawning thread's
+    /// interner scope, so a detached fork must rebuild them — which the
+    /// first pure query does, cheaply and deterministically from
+    /// `facts` — under the worker's own scope. Verdicts never depend on
+    /// cache warm-up, so a fork proves exactly what its parent would.
+    #[must_use]
+    pub fn fork_detached(&self) -> ProofCtx {
+        ProofCtx {
+            vars: self.vars.clone(),
+            masks: self.masks.clone(),
+            preds: self.preds.clone(),
+            facts: self.facts.clone(),
+            delta: self.delta.clone(),
+            syms: self.syms.clone(),
+            pending_pure: self.pending_pure.clone(),
+            next_hyp: self.next_hyp,
+            facts_rev: self.facts_rev,
+            solver_cache: None,
+            egraph: None,
+        }
+    }
+
     /// Adds a pure fact to `Γ`.
     pub fn add_fact(&mut self, p: PureProp) {
         if p != PureProp::True {

@@ -58,6 +58,12 @@ where
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<T, JobPanic>>>> =
         items.iter().map(|_| Mutex::new(None)).collect();
+    // The pool and the branch-level speculative workers share one thread
+    // budget of `jobs` units (see `crate::speculate`): each pool worker
+    // occupies a unit for its lifetime, so while the pool is saturated no
+    // search speculates, and as workers exit their freed units let the
+    // remaining stragglers go intra-spec parallel.
+    let _budget = crate::speculate::budget_scope(jobs);
     let ablation = crate::tactic::current_ablation();
     // The telemetry session (like the ablation override) is thread-local
     // state that must be re-installed in every worker; the counters
@@ -76,6 +82,7 @@ where
                 .stack_size(crate::verify::session_stack_bytes())
                 .spawn_scoped(scope, move || {
                     crate::verify::mark_session_thread();
+                    let _slot = crate::speculate::occupy_worker();
                     let _telemetry_guard = telemetry.as_ref().map(|s| s.install());
                     crate::tactic::with_ablation_override(ablation, || loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -105,6 +112,38 @@ where
         .collect()
 }
 
+/// Deterministically aggregates a pool run's results: all values in item
+/// order, or — if any job panicked — an error message naming *every*
+/// panicked item (rendered by `describe`, in item order) with its panic
+/// payload verbatim.
+///
+/// Callers used to `expect()` each result in a loop, which reported
+/// whichever panic happened to sit at the lowest index the iteration
+/// reached and dropped the rest; with this helper a multi-failure run
+/// reports the same complete, ordered message at any `jobs` level.
+///
+/// # Errors
+///
+/// One line per panicked item, joined with `; `.
+pub fn collect_ordered<T>(
+    results: Vec<Result<T, JobPanic>>,
+    describe: impl Fn(usize) -> String,
+) -> Result<Vec<T>, String> {
+    let mut values = Vec::with_capacity(results.len());
+    let mut failures: Vec<String> = Vec::new();
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(v) => values.push(v),
+            Err(p) => failures.push(format!("{}: {}", describe(i), p.message)),
+        }
+    }
+    if failures.is_empty() {
+        Ok(values)
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -119,8 +158,17 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 mod tests {
     use super::*;
 
+    /// Pool runs install a budget scope on the process-global speculation
+    /// budget; serialize against the `speculate` module's own tests.
+    fn budget_lock() -> std::sync::MutexGuard<'static, ()> {
+        crate::speculate::TEST_BUDGET_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn results_come_back_in_item_order() {
+        let _b = budget_lock();
         let items: Vec<usize> = (0..64).collect();
         for jobs in [1, 3, 8] {
             let out = run_ordered(&items, jobs, |i, &x| {
@@ -138,6 +186,7 @@ mod tests {
 
     #[test]
     fn panics_are_isolated_per_item() {
+        let _b = budget_lock();
         let items: Vec<usize> = (0..10).collect();
         let out = run_ordered(&items, 4, |_, &x| {
             assert!(x != 3 && x != 7, "boom {x}");
@@ -155,6 +204,7 @@ mod tests {
 
     #[test]
     fn ablation_override_reaches_workers() {
+        let _b = budget_lock();
         use crate::{current_ablation, with_ablation_override, Ablation};
         let ab = Ablation {
             oldest_first: true,
@@ -170,6 +220,7 @@ mod tests {
 
     #[test]
     fn telemetry_session_reaches_workers() {
+        let _b = budget_lock();
         let session = crate::telemetry::TelemetrySession::new("pool");
         let _guard = session.install();
         let labels = run_ordered(&[(), (), ()], 2, |_, ()| {
@@ -190,10 +241,30 @@ mod tests {
 
     #[test]
     fn empty_and_single_item_edge_cases() {
+        let _b = budget_lock();
         let out = run_ordered::<u8, u8, _>(&[], 4, |_, _| unreachable!());
         assert!(out.is_empty());
         let out = run_ordered(&[5u8], 16, |_, &x| x);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].as_ref().unwrap(), &5);
+    }
+
+    #[test]
+    fn collect_ordered_reports_every_panic_in_item_order() {
+        let _b = budget_lock();
+        let items: Vec<usize> = (0..10).collect();
+        for jobs in [1, 4] {
+            let results = run_ordered(&items, jobs, |_, &x| {
+                assert!(x != 2 && x != 5, "boom {x}");
+                x * 10
+            });
+            let err = collect_ordered(results, |i| format!("item-{i}")).unwrap_err();
+            // Whatever the interleaving, the aggregate message is the
+            // same: every failure, in item order, payload verbatim.
+            assert_eq!(err, "item-2: boom 2; item-5: boom 5");
+        }
+        let results = run_ordered(&items, 4, |_, &x| x * 10);
+        let values = collect_ordered(results, |i| format!("item-{i}")).unwrap();
+        assert_eq!(values, (0..10).map(|x| x * 10).collect::<Vec<_>>());
     }
 }

@@ -40,6 +40,7 @@ pub mod hint;
 pub mod index;
 pub mod report;
 pub mod spec;
+pub mod speculate;
 pub mod strategy;
 pub mod symval;
 pub mod tactic;
@@ -49,12 +50,16 @@ pub mod trace_json;
 pub mod verify;
 
 pub use ctx::{Hyp, ProofCtx};
-pub use driver::{default_jobs, run_ordered, JobPanic};
+pub use driver::{collect_ordered, default_jobs, run_ordered, JobPanic};
 pub use goal::Goal;
 pub use index::{hint_index_enabled, set_hint_index_enabled, HeadSet};
 pub use report::Stuck;
 pub use spec::{Spec, SpecTable};
+pub use speculate::budget_scope;
 pub use tactic::{current_ablation, with_ablation_override, Ablation, Tactic, VerifyOptions};
 pub use telemetry::{CounterSnapshot, DiagSnapshot, TelemetrySession};
 pub use trace::{ProofTrace, TraceKind, TraceStep};
-pub use verify::{verify, with_verification_session, VerifiedProof};
+pub use verify::{
+    install_pipeline_sink, pipeline_check_enabled, pipeline_frames_enabled, verify,
+    with_verification_session, PipelineEvent, PipelineSink, VerifiedProof,
+};

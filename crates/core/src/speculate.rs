@@ -1,0 +1,244 @@
+//! The speculation budget: a process-wide thread allowance shared
+//! between the spec-level work pool ([`crate::driver::run_ordered`]) and
+//! the branch-level speculative workers spawned inside a single search
+//! ([`crate::strategy`]).
+//!
+//! All parallelism in this engine respects one knob, `DIAFRAME_JOBS`:
+//! the suite driver fans examples over `jobs` workers, and — new in this
+//! layer — a search that reaches a 2-way case split may offload the
+//! second branch to a speculative worker. Without coordination those two
+//! levels would multiply (`jobs` pool workers × one speculative thread
+//! each ≈ `2×jobs` runnable threads). Instead both draw from a single
+//! budget of `jobs` *units*:
+//!
+//! * [`budget_scope`] — installed by `run_ordered` for the duration of a
+//!   pool run — sets the budget to the pool's `jobs`;
+//! * every pool worker holds one unit for its lifetime
+//!   ([`occupy_worker`]);
+//! * a search wanting to speculate calls [`try_acquire`]; it gets a
+//!   [`Permit`] only if a unit is free.
+//!
+//! While all pool workers are busy the budget is exhausted and every
+//! search runs serially — exactly the pre-existing behavior. As the
+//! suite drains and workers exit, their units free up and the remaining
+//! *stragglers* (the slowest examples) start winning permits, so the
+//! tail of a parallel suite run — which used to be bounded by the
+//! slowest single example's serial search — goes intra-spec parallel.
+//! A standalone `verify` call (no pool) gets the full default budget.
+//!
+//! Speculation never changes results: the strategy only accepts a
+//! speculative branch when its outcome is provably what the serial
+//! search would have produced (see `strategy::split_branches`), so
+//! permit availability — and therefore thread scheduling — affects wall
+//! time and the `spec_*` telemetry counters, nothing else. The
+//! `DIAFRAME_SPECULATE` environment variable (`off`/`0` to disable) and
+//! [`force_disable`] are the escape hatches; byte-identity between the
+//! two modes is pinned by `crates/bench/tests/speculation_identity.rs`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The `Stuck::reason` a cancelled speculative engine aborts with. Only
+/// ever constructed inside a speculative worker and always discarded by
+/// the spawner; asserted never to escape to user-visible reports.
+pub(crate) const CANCELLED_REASON: &str = "speculation cancelled";
+
+/// `DIAFRAME_SPECULATE` parsed once: unset or anything but
+/// `0`/`off`/empty means enabled.
+fn env_enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("DIAFRAME_SPECULATE").map_or(true, |v| {
+            let v = v.trim();
+            !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off"))
+        })
+    })
+}
+
+static FORCE_DISABLE: AtomicBool = AtomicBool::new(false);
+
+/// Programmatic kill switch, overriding the environment (used by the
+/// identity tests to compare speculative and serial searches within one
+/// process). Applies process-wide.
+pub fn force_disable(disabled: bool) {
+    FORCE_DISABLE.store(disabled, Ordering::SeqCst);
+}
+
+/// Whether speculative branch search is currently allowed at all.
+#[must_use]
+pub fn enabled() -> bool {
+    env_enabled() && !FORCE_DISABLE.load(Ordering::SeqCst)
+}
+
+/// The budget in units; 0 means "unset", read as the default job count.
+static CAPACITY: AtomicUsize = AtomicUsize::new(0);
+/// Units currently held (pool workers + live speculation permits).
+static IN_USE: AtomicUsize = AtomicUsize::new(0);
+
+fn capacity() -> usize {
+    match CAPACITY.load(Ordering::Relaxed) {
+        0 => crate::driver::default_jobs(),
+        n => n,
+    }
+}
+
+/// Sets the speculation budget to `jobs` units until the guard drops
+/// (restoring the previous value). Installed by `run_ordered` around a
+/// pool run so pool workers and speculative workers share one budget.
+///
+/// The budget is process-global: concurrent scopes (e.g. parallel tests
+/// each running a pool) race on it, which can only mis-size the budget
+/// temporarily — permits gate wall-clock behavior, never results.
+#[must_use]
+pub fn budget_scope(jobs: usize) -> BudgetScope {
+    let prev = CAPACITY.swap(jobs.max(1), Ordering::Relaxed);
+    BudgetScope { prev }
+}
+
+/// Guard from [`budget_scope`]; restores the previous budget on drop.
+pub struct BudgetScope {
+    prev: usize,
+}
+
+impl Drop for BudgetScope {
+    fn drop(&mut self) {
+        CAPACITY.store(self.prev, Ordering::Relaxed);
+    }
+}
+
+/// Marks one pool worker as occupying a budget unit for its lifetime.
+/// Unconditional (a pool worker exists whether or not it speculates);
+/// the unit frees when the guard drops, which is what lets tail
+/// stragglers of a draining pool start speculating.
+#[must_use]
+pub fn occupy_worker() -> WorkerSlot {
+    IN_USE.fetch_add(1, Ordering::Relaxed);
+    WorkerSlot { _priv: () }
+}
+
+/// Guard from [`occupy_worker`].
+pub struct WorkerSlot {
+    _priv: (),
+}
+
+impl Drop for WorkerSlot {
+    fn drop(&mut self) {
+        IN_USE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One unit of the budget, held by a live speculative worker; freed on
+/// drop.
+pub struct Permit {
+    _priv: (),
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        IN_USE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Tries to reserve a budget unit for a speculative branch worker.
+/// `None` when speculation is disabled or every unit is held — the
+/// caller then searches the branch serially.
+#[must_use]
+pub fn try_acquire() -> Option<Permit> {
+    if !enabled() {
+        return None;
+    }
+    let mut in_use = IN_USE.load(Ordering::Relaxed);
+    loop {
+        if in_use >= capacity() {
+            return None;
+        }
+        match IN_USE.compare_exchange_weak(
+            in_use,
+            in_use + 1,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return Some(Permit { _priv: () }),
+            Err(seen) => in_use = seen,
+        }
+    }
+}
+
+/// Serializes unit tests that touch the process-global budget statics
+/// (this module's tests and `driver`'s pool tests, which install budget
+/// scopes). Other concurrent tests can still *consume* units by
+/// speculating, so positive acquisition assertions below retry.
+#[cfg(test)]
+pub(crate) static TEST_BUDGET_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Retries a permit acquisition for a while: concurrent tests may
+    /// transiently hold units, but they drain. Negative assertions need
+    /// no such care — units *we* hold keep `try_acquire` failing
+    /// regardless of other threads.
+    fn acquire_eventually() -> Permit {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            if let Some(p) = try_acquire() {
+                return p;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no budget unit freed up within 5s"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn permits_respect_the_budget() {
+        let _l = TEST_BUDGET_LOCK.lock().unwrap();
+        let _scope = budget_scope(2);
+        let w = occupy_worker();
+        let p = acquire_eventually();
+        assert!(
+            try_acquire().is_none(),
+            "budget of 2 fully held by worker + permit"
+        );
+        drop(p);
+        let p2 = acquire_eventually();
+        drop(w);
+        drop(p2);
+    }
+
+    #[test]
+    fn a_budget_of_one_never_speculates() {
+        let _l = TEST_BUDGET_LOCK.lock().unwrap();
+        let _scope = budget_scope(1);
+        let _w = occupy_worker();
+        assert!(try_acquire().is_none());
+    }
+
+    #[test]
+    fn force_disable_wins_over_free_budget() {
+        let _l = TEST_BUDGET_LOCK.lock().unwrap();
+        let _scope = budget_scope(8);
+        force_disable(true);
+        assert!(!enabled());
+        assert!(try_acquire().is_none());
+        force_disable(false);
+        let p = acquire_eventually();
+        drop(p);
+    }
+
+    #[test]
+    fn budget_scopes_nest_and_restore() {
+        let _l = TEST_BUDGET_LOCK.lock().unwrap();
+        let outer = budget_scope(3);
+        assert_eq!(capacity(), 3);
+        {
+            let _inner = budget_scope(5);
+            assert_eq!(capacity(), 5);
+        }
+        assert_eq!(capacity(), 3);
+        drop(outer);
+    }
+}

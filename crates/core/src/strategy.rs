@@ -24,7 +24,13 @@ use diaframe_heaplang::step::head_step;
 use diaframe_heaplang::{BinOp, Expr, Heap, UnOp, Val};
 use diaframe_logic::{Assertion, Atom, Binder, Mask, MaskT, Namespace, WpPost};
 use diaframe_term::{PureProp, Sort, Subst, Sym, Term, VarId};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// A live step consumer for pipelined per-frame checking: every step
+/// appended to the trace (including spliced speculative steps, in trace
+/// order) is mirrored to the sink as it lands.
+pub(crate) type StepSink = Arc<dyn Fn(&TraceStep) + Send + Sync>;
 
 /// The proof search engine for one verification.
 pub struct Engine<'a> {
@@ -36,6 +42,10 @@ pub struct Engine<'a> {
     tactic_used: Vec<bool>,
     tactic_fires: Vec<u32>,
     fuel: u64,
+    /// Set on speculative branch engines: polled at every `solve` entry,
+    /// aborting the worker's search once its result cannot matter.
+    cancel: Option<Arc<AtomicBool>>,
+    step_sink: Option<StepSink>,
 }
 
 type Solved = Result<ProofCtx, Box<Stuck>>;
@@ -52,7 +62,16 @@ impl<'a> Engine<'a> {
             tactic_used: vec![false; opts.tactics.len()],
             tactic_fires: vec![0; opts.tactics.len()],
             fuel: opts.effective_fuel(),
+            cancel: None,
+            step_sink: None,
         }
+    }
+
+    /// Attaches a live step consumer (pipelined frame checking). Not
+    /// compatible with opt-in disjunction backtracking, which truncates
+    /// the trace — callers gate on `opts.backtrack_disjunctions`.
+    pub(crate) fn set_step_sink(&mut self, sink: StepSink) {
+        self.step_sink = Some(sink);
     }
 
     fn stuck(&self, ctx: &ProofCtx, reason: impl Into<String>, goal: &Goal) -> Box<Stuck> {
@@ -78,6 +97,20 @@ impl<'a> Engine<'a> {
     /// measure search effort, not final trace length.
     fn push_step(&mut self, step: TraceStep) {
         crate::telemetry::count_step(&step);
+        if let Some(sink) = &self.step_sink {
+            sink(&step);
+        }
+        self.trace.push(step);
+    }
+
+    /// Appends a step produced by a *won speculative worker*. Bypasses
+    /// `count_step` — the worker already counted its steps into its own
+    /// session, which the parent absorbs wholesale on a win — but still
+    /// feeds the live step sink (steps reach the sink in trace order).
+    fn splice_step(&mut self, step: TraceStep) {
+        if let Some(sink) = &self.step_sink {
+            sink(&step);
+        }
         self.trace.push(step);
     }
 
@@ -142,6 +175,15 @@ impl<'a> Engine<'a> {
     ///
     /// Returns a [`Stuck`] report when no rule applies and no tactic helps.
     pub fn solve(&mut self, mut ctx: ProofCtx, goal: Goal) -> Solved {
+        // Speculative engines poll their cancellation flag here — the
+        // one place every rule application funnels through. The sentinel
+        // error is always discarded by the spawner; it never reaches a
+        // user-visible stuck report.
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(self.stuck(&ctx, crate::speculate::CANCELLED_REASON, &goal));
+            }
+        }
         if self.fuel == 0 {
             return Err(self.stuck(&ctx, "out of fuel", &goal));
         }
@@ -340,15 +382,10 @@ impl<'a> Engine<'a> {
                     let mut pending2 = pending.clone();
                     let cont2 = cont.clone();
                     pending.push(*l);
-                    self.push_step(TraceStep::BranchStart { index: 0 });
-                    self.intro_hyps(ctx, pending, cont)?;
-                    self.push_step(TraceStep::BranchEnd { index: 0 });
                     pending2.push(*r);
-                    self.push_step(TraceStep::BranchStart { index: 1 });
-                    let out = self.intro_hyps(ctx2, pending2, cont2)?;
-                    self.push_step(TraceStep::BranchEnd { index: 1 });
-                    // Both branches completed the remaining proof.
-                    return Ok(out);
+                    // Both branches must complete the remaining proof;
+                    // branch 1 may run speculatively.
+                    return self.split_branches(ctx, pending, cont, ctx2, pending2, cont2);
                 }
                 Assertion::Later(inner) => {
                     let stripped = inner.strip_later(&ctx.preds);
@@ -1045,6 +1082,186 @@ impl<'a> Engine<'a> {
         Err(self.stuck(&ctx, "cannot decide goal disjunction", &goal))
     }
 
+    /// The strictly serial two-branch order (the historical behavior,
+    /// and the fallback whenever no speculation permit is available):
+    /// branch 0, then branch 1, each bracketed by its `BranchStart`/
+    /// `BranchEnd` steps. The caller has already pushed the `CaseSplit`.
+    fn split_serial(
+        &mut self,
+        ctx0: ProofCtx,
+        pending0: Vec<Assertion>,
+        cont0: Goal,
+        ctx1: ProofCtx,
+        pending1: Vec<Assertion>,
+        cont1: Goal,
+    ) -> Solved {
+        self.push_step(TraceStep::BranchStart { index: 0 });
+        self.intro_hyps(ctx0, pending0, cont0)?;
+        self.push_step(TraceStep::BranchEnd { index: 0 });
+        self.push_step(TraceStep::BranchStart { index: 1 });
+        let out = self.intro_hyps(ctx1, pending1, cont1)?;
+        self.push_step(TraceStep::BranchEnd { index: 1 });
+        Ok(out)
+    }
+
+    /// Solves both branches of a 2-way case split whose `CaseSplit` step
+    /// the caller has already pushed: branch 0 inline, branch 1 either
+    /// serially after it or — when the speculation budget grants a
+    /// permit (see [`crate::speculate`]) — concurrently on a worker
+    /// thread.
+    ///
+    /// # Determinism
+    ///
+    /// The emitted trace is byte-identical to the serial search
+    /// regardless of scheduling. The worker searches branch 1 from a
+    /// detached snapshot of the split state (context fork, cloned tactic
+    /// state, fresh interner scope, private telemetry session); its
+    /// result is accepted only when it is provably what the serial
+    /// search would have produced:
+    ///
+    /// * the worker finished its branch without getting stuck,
+    ///   cancelled, or panicking, **and**
+    /// * branch 0 left the tactic consumption state untouched (the
+    ///   worker started from the state *at the split*; serial branch 1
+    ///   would start from the state *after branch 0*), **and**
+    /// * the worker consumed no more fuel than remained after branch 0
+    ///   (otherwise the serial branch 1 could have run out of fuel
+    ///   mid-search and produced a different outcome).
+    ///
+    /// On acceptance the worker's steps are spliced into the trace and
+    /// its fuel/tactic/telemetry state adopted — exactly the serial
+    /// outcome, minus the wall-clock. On any other outcome branch 1
+    /// reruns serially from the kept originals (a deterministic worker
+    /// panic thereby reproduces inline with exact serial semantics and
+    /// payload). Outcomes never depend on thread scheduling; only wall
+    /// time and the `spec_*` telemetry counters do.
+    #[allow(clippy::too_many_arguments)]
+    fn split_branches(
+        &mut self,
+        ctx0: ProofCtx,
+        pending0: Vec<Assertion>,
+        cont0: Goal,
+        ctx1: ProofCtx,
+        pending1: Vec<Assertion>,
+        cont1: Goal,
+    ) -> Solved {
+        let Some(permit) = crate::speculate::try_acquire() else {
+            return self.split_serial(ctx0, pending0, cont0, ctx1, pending1, cont1);
+        };
+        crate::telemetry::spec_spawned();
+        let fuel_at_split = self.fuel;
+        let used_at_split = self.tactic_used.clone();
+        let fires_at_split = self.tactic_fires.clone();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let worker_session = crate::telemetry::TelemetrySession::new("speculate");
+        let (registry, specs, opts) = (self.registry, self.specs, self.opts);
+        let w_ctx = ctx1.fork_detached();
+        let w_pending = pending1.clone();
+        let w_cont = cont1.clone();
+        let w_cancel = Arc::clone(&cancel);
+        let w_session = worker_session.clone();
+        let w_used = used_at_split.clone();
+        let w_fires = fires_at_split.clone();
+        std::thread::scope(|scope| {
+            let handle = std::thread::Builder::new()
+                .name("diaframe-speculate".to_owned())
+                .stack_size(crate::verify::session_stack_bytes())
+                .spawn_scoped(scope, move || {
+                    let _permit = permit; // unit freed when the worker exits
+                    let _guard = w_session.install();
+                    let intern_scope = diaframe_term::intern::scope();
+                    let mut sub = Engine {
+                        registry,
+                        specs,
+                        opts,
+                        trace: ProofTrace::new(),
+                        tactic_used: w_used,
+                        tactic_fires: w_fires,
+                        fuel: fuel_at_split,
+                        cancel: Some(w_cancel),
+                        step_sink: None,
+                    };
+                    let result = sub.intro_hyps(w_ctx, w_pending, w_cont);
+                    crate::telemetry::intern_stats(diaframe_term::intern::stats());
+                    crate::telemetry::egraph_stats(diaframe_term::intern::egraph_stats());
+                    drop(intern_scope);
+                    (result, sub.trace, sub.tactic_used, sub.tactic_fires, sub.fuel)
+                })
+                .expect("spawn speculative branch worker");
+            // If branch 0 *panics* (unwinds out of this closure), cancel
+            // the worker before the scope's implicit join so the panic
+            // is not stalled behind a doomed search; nested speculation
+            // inside the worker unwinds the same way, recursively. The
+            // spawn is also resolved as cancelled here so the session's
+            // `spec_spawned == spec_won + spec_cancelled` identity holds
+            // even when a harness contains the panic and snapshots the
+            // counters afterwards.
+            struct CancelOnUnwind<'c>(&'c AtomicBool);
+            impl Drop for CancelOnUnwind<'_> {
+                fn drop(&mut self) {
+                    self.0.store(true, Ordering::Relaxed);
+                    crate::telemetry::spec_cancelled();
+                }
+            }
+            let unwind_guard = CancelOnUnwind(&cancel);
+            self.push_step(TraceStep::BranchStart { index: 0 });
+            let r0 = self.intro_hyps(ctx0, pending0, cont0);
+            std::mem::forget(unwind_guard);
+            if r0.is_err() {
+                // Branch 0 failed: whatever the worker finds is moot —
+                // the serial search would have stopped here too.
+                cancel.store(true, Ordering::Relaxed);
+            }
+            // Always reap the worker before deciding anything: fuel
+            // bounds its search, so the join cannot hang.
+            let joined = handle.join();
+            if let Err(mut e) = r0 {
+                crate::telemetry::spec_cancelled();
+                crate::telemetry::spec_wasted(worker_session.snapshot().probes_attempted);
+                // The stuck report snapshotted the counters at its
+                // construction site, *inside* branch 0 — before this
+                // spawn was resolved. Refresh it so the diagnostics a
+                // caller renders satisfy the counter identities.
+                e.diag = crate::telemetry::stuck_diag();
+                return Err(e);
+            }
+            self.push_step(TraceStep::BranchEnd { index: 0 });
+            let fuel_after_b0 = self.fuel;
+            if let Ok((w_result, w_trace, w_used, w_fires, w_fuel)) = joined {
+                let consumed = fuel_at_split - w_fuel;
+                if let Ok(out) = w_result {
+                    if self.tactic_used == used_at_split
+                        && self.tactic_fires == fires_at_split
+                        && consumed <= fuel_after_b0
+                    {
+                        crate::telemetry::spec_won();
+                        if let Some(session) = crate::telemetry::current() {
+                            session.absorb(&worker_session);
+                        }
+                        self.push_step(TraceStep::BranchStart { index: 1 });
+                        for step in w_trace.into_steps() {
+                            self.splice_step(step);
+                        }
+                        self.push_step(TraceStep::BranchEnd { index: 1 });
+                        self.fuel = fuel_after_b0 - consumed;
+                        self.tactic_used = w_used;
+                        self.tactic_fires = w_fires;
+                        return Ok(out);
+                    }
+                }
+            }
+            // Worker stuck, cancelled, panicked, or diverged from what
+            // the serial accounting allows: discard it and rerun branch
+            // 1 serially from the kept originals.
+            crate::telemetry::spec_cancelled();
+            crate::telemetry::spec_wasted(worker_session.snapshot().probes_attempted);
+            self.push_step(TraceStep::BranchStart { index: 1 });
+            let out = self.intro_hyps(ctx1, pending1, cont1)?;
+            self.push_step(TraceStep::BranchEnd { index: 1 });
+            Ok(out)
+        })
+    }
+
     /// Applies a user case-split tactic: prove the goal under `φ` and
     /// under `¬φ`.
     fn case_split_tactic(
@@ -1061,13 +1278,14 @@ impl<'a> Engine<'a> {
         });
         let ctx2 = ctx.clone();
         let goal2 = goal.clone();
-        self.push_step(TraceStep::BranchStart { index: 0 });
-        self.intro_hyps(ctx, vec![Assertion::pure(prop.clone())], goal.clone())?;
-        self.push_step(TraceStep::BranchEnd { index: 0 });
-        self.push_step(TraceStep::BranchStart { index: 1 });
-        let out = self.intro_hyps(ctx2, vec![Assertion::pure(prop.negated())], goal2)?;
-        self.push_step(TraceStep::BranchEnd { index: 1 });
-        Ok(out)
+        self.split_branches(
+            ctx,
+            vec![Assertion::pure(prop.clone())],
+            goal,
+            ctx2,
+            vec![Assertion::pure(prop.negated())],
+            goal2,
+        )
     }
 
     // ------------------------------------------------------------------
@@ -1165,8 +1383,7 @@ impl<'a> Engine<'a> {
                     }
                 }
                 let ctx2 = ctx.clone();
-                self.push_step(TraceStep::BranchStart { index: 0 });
-                self.intro_hyps(
+                return self.split_branches(
                     ctx,
                     vec![Assertion::pure(PureProp::eq(b.clone(), Term::bool(true)))],
                     Goal::Wp {
@@ -1175,10 +1392,6 @@ impl<'a> Engine<'a> {
                         post: post.clone(),
                         then: Box::new(then.clone()),
                     },
-                )?;
-                self.push_step(TraceStep::BranchEnd { index: 0 });
-                self.push_step(TraceStep::BranchStart { index: 1 });
-                let out = self.intro_hyps(
                     ctx2,
                     vec![Assertion::pure(PureProp::eq(b, Term::bool(false)))],
                     Goal::Wp {
@@ -1187,9 +1400,7 @@ impl<'a> Engine<'a> {
                         post,
                         then: Box::new(then),
                     },
-                )?;
-                self.push_step(TraceStep::BranchEnd { index: 1 });
-                return Ok(out);
+                );
             }
         }
         // Symbolic binary operations.
@@ -1351,8 +1562,7 @@ impl<'a> Engine<'a> {
                     }
                 }
                 let ctx2 = ctx.clone();
-                self.push_step(TraceStep::BranchStart { index: 0 });
-                self.intro_hyps(
+                self.split_branches(
                     ctx,
                     vec![Assertion::pure(prop.clone())],
                     Goal::Wp {
@@ -1361,10 +1571,6 @@ impl<'a> Engine<'a> {
                         post: post.clone(),
                         then: Box::new(then.clone()),
                     },
-                )?;
-                self.push_step(TraceStep::BranchEnd { index: 0 });
-                self.push_step(TraceStep::BranchStart { index: 1 });
-                let out = self.intro_hyps(
                     ctx2,
                     vec![Assertion::pure(prop.negated())],
                     Goal::Wp {
@@ -1373,9 +1579,7 @@ impl<'a> Engine<'a> {
                         post,
                         then: Box::new(then),
                     },
-                )?;
-                self.push_step(TraceStep::BranchEnd { index: 1 });
-                Ok(out)
+                )
             }
             _ => Err(self.stuck(
                 &ctx,

@@ -1,0 +1,162 @@
+//! Speculative branch search against the fuzz generator: random
+//! entailments (a fifth of which carry a hypothesis disjunction, i.e. a
+//! real 2-way case split) must produce the same verdict and
+//! byte-identical trace JSON whether the second branch runs on a
+//! speculative worker or inline — and a tactic that *panics* inside a
+//! branch must surface the same panic payload in both modes (a worker
+//! panic is never swallowed: the spawner discards the speculation and
+//! re-runs the branch serially, reproducing the panic deterministically).
+//!
+//! `speculate::force_disable` and the budget are process-global, so all
+//! tests in this binary serialize on a file-local lock.
+
+use diaframe_core::fuzz::{gen_entailment, search_once, GenConfig};
+use diaframe_core::trace_json::trace_to_json;
+use diaframe_core::{speculate, TelemetrySession};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard};
+
+static CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    CONFIG_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One case, both modes: speculation allowed under a 4-unit budget,
+/// then forced serial. Returns `(speculative, serial)` results.
+fn both_modes(
+    seed: u64,
+    index: usize,
+    cfg: &GenConfig,
+) -> (
+    diaframe_core::fuzz::SearchResult,
+    diaframe_core::fuzz::SearchResult,
+) {
+    let budget = diaframe_core::budget_scope(4);
+    let speculative = search_once(seed, index, cfg);
+    drop(budget);
+    speculate::force_disable(true);
+    let serial = search_once(seed, index, cfg);
+    speculate::force_disable(false);
+    (speculative, serial)
+}
+
+fn assert_identical(seed: u64, index: usize) {
+    let (spec, serial) = both_modes(seed, index, &GenConfig::default());
+    assert_eq!(
+        spec.proved, serial.proved,
+        "case ({seed:#x},{index}): verdict differs between speculative and serial search"
+    );
+    match (&spec.trace, &serial.trace) {
+        (Some(a), Some(b)) => assert_eq!(
+            trace_to_json(a),
+            trace_to_json(b),
+            "case ({seed:#x},{index}): trace JSON differs between speculative and serial search"
+        ),
+        (None, None) => {}
+        _ => unreachable!("verdicts agree but trace presence differs"),
+    }
+}
+
+proptest! {
+    /// Random cases: the speculative engine is trace-identical to the
+    /// serial one on arbitrary generated entailments.
+    #[test]
+    fn speculative_search_is_trace_identical(seed in 0u64..=u64::MAX, index in 0usize..48) {
+        let _lock = lock();
+        assert_identical(seed, index);
+    }
+}
+
+/// A fixed corpus at the campaign seed, run under a telemetry session:
+/// beyond per-case identity, the aggregate counters must show that
+/// speculation actually fired (otherwise this file tests nothing) and
+/// that every spawn was resolved (`spec_spawned == spec_won +
+/// spec_cancelled`).
+#[test]
+fn campaign_corpus_is_trace_identical_and_speculation_fires() {
+    let _lock = lock();
+    let session = TelemetrySession::new("speculation-fuzz");
+    let guard = session.install();
+    for index in 0..96 {
+        assert_identical(0xD1AF, index);
+    }
+    drop(guard);
+    session.flush();
+    let snap = session.snapshot();
+    assert!(
+        snap.spec_spawned > 0,
+        "no case in the corpus triggered speculation — widen the corpus"
+    );
+    snap.check_invariants()
+        .unwrap_or_else(|e| panic!("speculation counters violate invariants: {e}"));
+}
+
+/// A tactic that panics while a case split is being searched: the panic
+/// payload observed by the caller must be identical whether the
+/// panicking branch ran inline or on a speculative worker.
+#[test]
+fn branch_panic_payload_is_mode_independent() {
+    use diaframe_core::spec::SpecTable;
+    use diaframe_core::strategy::Engine;
+    use diaframe_ghost::Registry;
+
+    let _lock = lock();
+    // The default hook would print a backtrace for every injected panic
+    // (including the speculative worker's); silence it for this test
+    // and restore it after.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let run = |speculative: bool| -> Result<String, String> {
+        speculate::force_disable(!speculative);
+        let budget = diaframe_core::budget_scope(4);
+        // A case-split probe that detonates as soon as any branch gets
+        // stuck enough to consult the tactic list.
+        let opts = diaframe_core::fuzz::fuzz_options().with_case_split("detonator", |_| {
+            panic!("injected tactic panic")
+        });
+        let registry = Registry::standard();
+        let specs = SpecTable::new();
+        // Scan generated cases for one whose search consults the
+        // tactic: unprovable cases with a hypothesis disjunction reach
+        // a stuck branch inside a case split.
+        let cfg = GenConfig { provable_pct: 0 };
+        let mut observed = Err("no case panicked".to_owned());
+        for index in 0..64 {
+            let case = gen_entailment(0xD1AF, index, &cfg);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut engine = Engine::new(&registry, &specs, &opts);
+                engine.solve(case.ctx, case.goal).is_ok()
+            }));
+            if let Err(payload) = outcome {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                observed = Ok(format!("case {index}: {msg}"));
+                break;
+            }
+        }
+        drop(budget);
+        speculate::force_disable(false);
+        observed
+    };
+
+    let speculative = run(true);
+    let serial = run(false);
+    std::panic::set_hook(prev_hook);
+
+    let speculative = speculative.expect("no generated case consulted the panicking tactic");
+    let serial = serial.expect("no generated case consulted the panicking tactic (serial)");
+    assert_eq!(
+        speculative, serial,
+        "panic payload (and the case producing it) must not depend on speculation"
+    );
+    assert!(
+        speculative.contains("injected tactic panic"),
+        "payload must be the injected one, verbatim: {speculative}"
+    );
+}

@@ -548,6 +548,38 @@ mod tests {
         assert!(!format!("{ctx:?}").contains("solves"));
     }
 
+    /// Stamps must stay globally unique when contexts evolve on several
+    /// threads at once: a speculative branch worker mutates a *clone* of
+    /// the parent's `VarCtx` concurrently with the parent, and the
+    /// `(TermId, generation)` memo keys in `crate::intern` are only
+    /// sound if no two mutation events — on any thread — ever share a
+    /// stamp.
+    #[test]
+    fn generation_stamps_unique_across_threads() {
+        use std::collections::HashSet;
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut ctx = VarCtx::new();
+                    let mut seen = Vec::with_capacity(64);
+                    for i in 0..64 {
+                        let e = ctx.fresh_evar(Sort::Int);
+                        ctx.solve_evar(e, Term::int(i128::from(t) * 100 + i));
+                        seen.push(ctx.generation());
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let mut all = HashSet::new();
+        for h in handles {
+            for g in h.join().expect("stamping thread panicked") {
+                assert!(all.insert(g), "generation stamp {g} issued twice");
+            }
+        }
+        assert_eq!(all.len(), 8 * 64);
+    }
+
     #[test]
     fn raw_reconstruction_round_trips() {
         let mut ctx = VarCtx::new();

@@ -650,6 +650,34 @@ mod tests {
         assert!(!is_active());
     }
 
+    /// Scopes are strictly per-thread state: a speculative branch
+    /// worker installing its own scope must never perturb the scope its
+    /// parent search is running under — ids minted in one thread's
+    /// scope are meaningless (and invisible) in another's.
+    #[test]
+    fn scopes_are_isolated_per_thread() {
+        let _scope = scope();
+        let t = Term::add(Term::int(1), Term::int(2));
+        let parent_id = term_id(&t).unwrap();
+        let parent_misses = stats().interner_misses;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // The parent's scope does not leak into this thread.
+                assert!(!is_active());
+                assert_eq!(term_id(&t), None);
+                let _worker = scope();
+                let _ = term_id(&t).unwrap();
+            })
+            .join()
+            .expect("worker panicked");
+        });
+        // The worker's scope left the parent's untouched: still active,
+        // same stats, and the old id still resolves.
+        assert!(is_active());
+        assert_eq!(stats().interner_misses, parent_misses);
+        assert_eq!(resolve(parent_id).unwrap(), t);
+    }
+
     #[test]
     fn arc_reuse_under_different_symbol() {
         let _scope = scope();

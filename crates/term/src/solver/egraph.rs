@@ -652,6 +652,50 @@ mod tests {
         assert!(EGraph::new().valid());
     }
 
+    /// A speculative branch worker starts on a detached proof context
+    /// with no solver state (`ProofCtx::fork_detached` drops the
+    /// incremental e-graph), so its first pure query rebuilds via
+    /// [`EGraph::from_facts`] on its own thread and interner scope. The
+    /// rebuild must reach the same verdicts there as anywhere else —
+    /// worker placement must never change what is provable.
+    #[test]
+    fn rebuild_verdicts_are_thread_independent() {
+        let mut ctx = VarCtx::new();
+        let z = int_var(&mut ctx, "z");
+        let w = int_var(&mut ctx, "w");
+        let facts = vec![
+            PureProp::lt(Term::int(0), z.clone()),
+            PureProp::le(z.clone(), w.clone()),
+            PureProp::ne(w.clone(), Term::int(1)),
+        ];
+        let goals = vec![
+            (PureProp::le(Term::int(1), z.clone()), true),
+            (PureProp::le(Term::int(2), w.clone()), true),
+            (PureProp::le(Term::int(2), z.clone()), false),
+            (PureProp::eq(w, Term::int(1)), false),
+        ];
+        let here: Vec<bool> = {
+            let mut eg = EGraph::from_facts(&facts);
+            goals.iter().map(|(g, _)| eg.prove(&mut ctx, g)).collect()
+        };
+        for ((_, expect), got) in goals.iter().zip(&here) {
+            assert_eq!(expect, got);
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (facts, goals, here) = (&facts, &goals, &here);
+                let mut ctx = ctx.clone();
+                s.spawn(move || {
+                    let _scope = crate::intern::scope();
+                    let mut eg = EGraph::from_facts(facts);
+                    let there: Vec<bool> =
+                        goals.iter().map(|(g, _)| eg.prove(&mut ctx, g)).collect();
+                    assert_eq!(&there, here, "rebuild verdicts differ on a worker thread");
+                });
+            }
+        });
+    }
+
     #[test]
     fn inconsistency_detection() {
         let mut ctx = VarCtx::new();
