@@ -5,14 +5,18 @@
 //! cargo run -p diaframe-bench --bin figure6 -- \
 //!     [--aggregate] [--failing] [--ablation] [--all] \
 //!     [--jobs N] [--json] [--json-out PATH] [--explain EXAMPLE] \
-//!     [--jobs-sweep 1,2,4,8] [--sweep-out PATH]
+//!     [--jobs-sweep 1,2,4,8] [--sweep-out PATH] \
+//!     [--profile-out PATH] [--folded-out PATH] [--hotspots N] \
+//!     [--diff BASELINE.json] [--diff-current CURRENT.json] \
+//!     [--diff-ratio X] [--diff-aggregate-ratio X] [--diff-min-ms X] \
+//!     [--diff-counter-ratio X] [--diff-counter-floor N]
 //! ```
 //!
 //! The suite is verified once, in parallel (`--jobs`, default
 //! `DIAFRAME_JOBS` or the core count), into a shared cache; every
 //! requested table is then rendered from that cache without re-running
 //! anything. `--json` prints the machine-readable timing + telemetry
-//! snapshot (schema `diaframe-bench/figure6/v4`) instead of tables;
+//! snapshot (schema `diaframe-bench/figure6/v6`) instead of tables;
 //! `--json-out` writes it to a file alongside the tables — the committed
 //! `BENCH_figure6.json` is produced that way. `--explain EXAMPLE` skips
 //! the suite and instead runs EXAMPLE's sabotaged variant under a
@@ -25,13 +29,54 @@
 //! `--sweep-out PATH` writes the machine-readable sweep (schema
 //! `diaframe-bench/jobs-sweep/v1`, the committed
 //! `BENCH_jobs_sweep.json`).
+//!
+//! Profiling: any of `--profile-out` (Chrome trace-event JSON, loadable
+//! in Perfetto / `chrome://tracing`, one lane per pool, speculation and
+//! checker thread), `--folded-out` (folded stacks for
+//! `flamegraph.pl`-style tools) and `--hotspots N` (top-N `(kind,
+//! label)` pairs by self time) runs the suite under a hierarchical
+//! profile session. The trace is validated (balanced begin/end events,
+//! monotonic timestamps per lane) before it is written, and the span
+//! rollups are cross-checked against the flat telemetry counters — the
+//! run aborts if the two instrumentation paths disagree.
+//!
+//! Snapshot diffing: `--diff BASELINE.json` compares this run's v6
+//! snapshot against a committed baseline and prints a markdown
+//! regression report (per-example search-time ratios, deterministic
+//! counter drift); the exit code is non-zero when any gate fails. With
+//! `--diff-current CURRENT.json` both sides come from files and the
+//! suite is not run at all.
 
 use diaframe_bench::{
-    ablation_table, aggregate_table, failing_table, figure6_json, figure6_table, jobs_sweep_json,
-    prefetch_ablations, prefetch_suite, render_jobs_sweep, run_jobs_sweep, SuiteCache,
+    ablation_table, aggregate_table, diff_snapshots, failing_table, figure6_json, figure6_table,
+    jobs_sweep_json, prefetch_ablations, prefetch_suite, profile_identity_report, render_hotspots,
+    render_jobs_sweep, run_jobs_sweep, DiffOptions, SuiteCache,
 };
-use diaframe_core::TelemetrySession;
+use diaframe_core::{ProfileSession, TelemetrySession};
 use diaframe_examples::all_examples;
+
+/// Reads a whole file or exits with a diagnostic (used for the diff
+/// baselines, where a missing file is an operator error, not a panic).
+fn read_or_exit(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("--diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Runs the snapshot diff and exits non-zero when a gate fails.
+fn run_diff(baseline: &str, current: &str, opts: &DiffOptions) -> ! {
+    match diff_snapshots(baseline, current, opts) {
+        Ok(report) => {
+            print!("{}", report.markdown);
+            std::process::exit(i32::from(!report.regressions.is_empty()));
+        }
+        Err(e) => {
+            eprintln!("--diff: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 /// Runs `name`'s sabotaged variant under a telemetry session and prints
 /// the structured stuck report. Exits non-zero when the example is
@@ -88,6 +133,47 @@ fn main() {
         .position(|a| a == "--json-out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let opt = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let mut diff_opts = DiffOptions::default();
+    let parse_f64 = |flag: &str| {
+        opt(flag).map(|v| {
+            v.parse::<f64>()
+                .unwrap_or_else(|_| panic!("{flag}: bad number {v:?}"))
+        })
+    };
+    if let Some(v) = parse_f64("--diff-ratio") {
+        diff_opts.example_ratio = v;
+    }
+    if let Some(v) = parse_f64("--diff-aggregate-ratio") {
+        diff_opts.aggregate_ratio = v;
+    }
+    if let Some(v) = parse_f64("--diff-min-ms") {
+        diff_opts.min_ms = v;
+    }
+    if let Some(v) = parse_f64("--diff-counter-ratio") {
+        diff_opts.counter_ratio = v;
+    }
+    if let Some(v) = opt("--diff-counter-floor") {
+        diff_opts.counter_floor = v
+            .parse()
+            .unwrap_or_else(|_| panic!("--diff-counter-floor: bad count {v:?}"));
+    }
+    let diff_baseline = opt("--diff").cloned();
+    let diff_current = opt("--diff-current").cloned();
+    if let (Some(b), Some(c)) = (&diff_baseline, &diff_current) {
+        // Pure file-vs-file mode: nothing is verified.
+        run_diff(&read_or_exit(b), &read_or_exit(c), &diff_opts);
+    }
+    let profile_out = opt("--profile-out").cloned();
+    let folded_out = opt("--folded-out").cloned();
+    let hotspots: Option<usize> = opt("--hotspots").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--hotspots: bad count {v:?}"))
+    });
 
     if let Some(list) = args
         .iter()
@@ -125,12 +211,19 @@ fn main() {
     let figure6 = all || !(failing || ablation || aggregate);
 
     let cache = SuiteCache::new();
+    // The profile session covers exactly the prefetch passes below —
+    // every verification, and nothing else — so its span rollups must
+    // reconcile with the cached runs' flat counters.
+    let profile =
+        (profile_out.is_some() || folded_out.is_some() || hotspots.is_some()).then(ProfileSession::new);
+    let profile_guard = profile.as_ref().map(ProfileSession::install);
     // One parallel pass fills the cache with everything the requested
     // tables will read; rendering below re-runs nothing.
     let mut wall = prefetch_suite(&cache, jobs, all || failing);
     if all || ablation {
         wall += prefetch_ablations(&cache, jobs);
     }
+    drop(profile_guard);
 
     let json = has("--json");
     if !json {
@@ -168,5 +261,40 @@ fn main() {
         if json {
             print!("{snapshot}");
         }
+    }
+    if let Some(p) = &profile {
+        // Two independent instrumentation paths, one ledger: abort if
+        // the span tree and the flat counters disagree.
+        match profile_identity_report(p, &cache) {
+            Ok(lines) => println!("{lines}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(n) = hotspots {
+            println!("== profile hotspots (top {n} by self time) ==");
+            print!("{}", render_hotspots(p, n));
+        }
+        if let Some(path) = &profile_out {
+            let trace = p.chrome_trace();
+            let (events, lanes) = diaframe_core::profile::validate_chrome_trace(&trace)
+                .unwrap_or_else(|e| panic!("--profile-out: trace failed validation: {e}"));
+            std::fs::write(path, &trace).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!(
+                "[profile trace written to {path}: {events} span events across {lanes} lanes, validated]"
+            );
+        }
+        if let Some(path) = &folded_out {
+            std::fs::write(path, p.folded_stacks())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("[folded stacks written to {path}]");
+        }
+    }
+    if let Some(b) = &diff_baseline {
+        // Fresh-run mode: this run's v6 snapshot against the committed
+        // baseline. Exits non-zero on any regression.
+        let current = figure6_json(&cache, jobs, wall);
+        run_diff(&read_or_exit(b), &current, &diff_opts);
     }
 }

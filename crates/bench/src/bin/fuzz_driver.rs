@@ -104,6 +104,20 @@ fn main() {
         .map_or_else(diaframe_core::default_jobs, |n| n.max(1));
     let json_out = flag_value(&args, "--json-out");
 
+    // DIAFRAME_PROFILE=<path>: run the whole campaign under a
+    // hierarchical profile session and write the validated Chrome
+    // trace-event JSON there at the end. The report bytes are
+    // unaffected (the trace goes to its own file and the report
+    // carries no timings), so the reproducibility `cmp` in ci.sh
+    // holds with profiling on or off.
+    let profile_path = std::env::var("DIAFRAME_PROFILE")
+        .ok()
+        .filter(|p| !p.is_empty());
+    let profile = profile_path
+        .as_ref()
+        .map(|_| diaframe_core::ProfileSession::new());
+    let profile_guard = profile.as_ref().map(diaframe_core::ProfileSession::install);
+
     let t0 = Instant::now();
     let cfg = GenConfig::default();
 
@@ -379,6 +393,25 @@ fn main() {
     println!("wall: {:.2?}", t0.elapsed());
     if let Some(path) = &json_out {
         println!("report: {path}");
+    }
+    drop(profile_guard);
+    if let (Some(path), Some(p)) = (&profile_path, &profile) {
+        let trace = p.chrome_trace();
+        match diaframe_core::profile::validate_chrome_trace(&trace) {
+            Ok((events, lanes)) => {
+                if let Err(e) = std::fs::write(path, &trace) {
+                    eprintln!("fuzz_driver: cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+                println!(
+                    "profile: {events} span events across {lanes} lanes, validated, written to {path}"
+                );
+            }
+            Err(e) => {
+                eprintln!("fuzz_driver: profile trace failed validation: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let mut failed = false;

@@ -52,6 +52,13 @@ pub struct CachedRun {
     /// [`TelemetrySession`], so runs are counted in isolation even when
     /// the pool interleaves them.
     pub counters: CounterSnapshot,
+    /// The per-run session itself, kept so consumers can read span
+    /// duration histograms (`span_stats`) and flush the run's telemetry
+    /// JSON line *in a deterministic order* — `run_once` no longer
+    /// flushes at completion time, which under `--jobs N` depended on
+    /// the pool interleaving; the suite driver flushes cached runs in
+    /// task-submission order instead.
+    pub session: TelemetrySession,
 }
 
 impl CachedRun {
@@ -113,6 +120,18 @@ impl SuiteCache {
         run
     }
 
+    /// Looks up a completed entry without running anything and without
+    /// touching the hit/miss counters (which several tests treat as an
+    /// exact re-verification ledger). Used by the suite driver to flush
+    /// telemetry in task-submission order after a pool run.
+    #[must_use]
+    pub fn peek(&self, cache_key: &str, ablation: Ablation, variant: Variant) -> Option<Arc<CachedRun>> {
+        let key = (cache_key.to_owned(), ablation, variant);
+        let cell = Arc::clone(self.entries.lock().unwrap().get(&key)?);
+        let run = cell.get()?;
+        Some(Arc::clone(run))
+    }
+
     /// How many requests were served from the cache.
     #[must_use]
     pub fn hits(&self) -> usize {
@@ -160,18 +179,21 @@ fn run_once(ex: &dyn Example, variant: Variant) -> CachedRun {
     };
     let session = TelemetrySession::new(&label);
     let guard = session.install();
+    let mut prof_span = diaframe_core::profile::span(diaframe_core::profile::SpanKind::Verify);
+    prof_span.set_label(&label);
     let (outcome, search_time, check_time) = if diaframe_core::pipeline_check_enabled() {
         run_pipelined(ex, variant, &session)
     } else {
         run_serial(ex, variant)
     };
+    drop(prof_span);
     drop(guard);
-    session.flush();
     CachedRun {
         outcome,
         search_time,
         check_time,
         counters: session.snapshot(),
+        session,
     }
 }
 
@@ -212,13 +234,22 @@ fn run_pipelined(ex: &dyn Example, variant: Variant, session: &TelemetrySession)
     // instead of buffering every event of a large example.
     let (tx, rx) = std::sync::mpsc::sync_channel::<PipelineEvent>(256);
     let consumer_session = session.clone();
+    let consumer_profile = diaframe_core::profile::current();
+    let consumer_parent = diaframe_core::profile::current_span_id();
     let (verdict, search_time, busy, first_err, checked, whole) = std::thread::scope(|scope| {
         let consumer = std::thread::Builder::new()
             .name("diaframe-check".to_owned())
             // Replaying a deep trace re-proves its pure obligations;
             // give the consumer the same stack headroom as a search.
             .stack_size(diaframe_core::verify::session_stack_bytes())
-            .spawn_scoped(scope, move || consume_events(&rx, &consumer_session))
+            .spawn_scoped(scope, move || {
+                // The consumer gets its own timeline lane; its replay
+                // windows hang off this run's `Verify` span.
+                let _prof_guard = consumer_profile
+                    .as_ref()
+                    .map(|p| p.install_with_parent(consumer_parent));
+                consume_events(&rx, &consumer_session)
+            })
             .expect("spawn pipelined checker");
         let sink: PipelineSink = Arc::new(move |ev| {
             // The consumer only hangs up after the channel closes, so a
@@ -297,6 +328,12 @@ fn consume_events(
     // the stream must keep draining so the search never blocks).
     let mut replay = Replay::new();
     let mut window_failed: Option<diaframe_core::checker::CheckError> = None;
+    // The live replay window's profile span: opened on the window's
+    // first streamed step, closed (and its step count recorded) at the
+    // `SpecSearched`/`SpecAbandoned` boundary. Its counts reconcile with
+    // the flat `checker_steps` counter, which is likewise bumped only at
+    // the searched boundary.
+    let mut window_span: Option<diaframe_core::profile::Span> = None;
     while let Ok(ev) = rx.recv() {
         let t = Instant::now();
         match ev {
@@ -309,15 +346,24 @@ fn consume_events(
                 checked += 1;
             }
             PipelineEvent::Step(step) => {
+                if window_span.is_none() && diaframe_core::profile::active() {
+                    window_span = Some(diaframe_core::profile::span(
+                        diaframe_core::profile::SpanKind::CheckWindow,
+                    ));
+                }
                 if first_err.is_none() && window_failed.is_none() {
                     if let Err(e) = replay.feed(&step) {
                         window_failed = Some(e);
                     }
                 }
             }
-            PipelineEvent::SpecSearched { .. } => {
+            PipelineEvent::SpecSearched { name } => {
                 let done = std::mem::take(&mut replay);
                 diaframe_core::telemetry::checker_steps(done.steps_seen() as u64);
+                if let Some(mut sp) = window_span.take() {
+                    diaframe_core::profile::bump(done.steps_seen() as u64);
+                    sp.set_label(&name);
+                }
                 if first_err.is_none() {
                     let verdict = match window_failed.take() {
                         Some(e) => Err(e),
@@ -333,6 +379,9 @@ fn consume_events(
             PipelineEvent::SpecAbandoned => {
                 // The search got stuck: the window's steps are not a
                 // finished trace. Discard and start fresh.
+                if let Some(mut sp) = window_span.take() {
+                    sp.set_label("(abandoned)");
+                }
                 replay = Replay::new();
                 window_failed = None;
             }

@@ -14,9 +14,11 @@
 //! byte-for-byte.
 
 mod cache;
+pub mod diff;
 mod suite;
 
 pub use cache::{CachedRun, SuiteCache, Variant};
+pub use diff::{diff_snapshots, DiffOptions, DiffReport};
 pub use suite::{ablation_configs, assert_counter_invariants, prefetch_ablations, prefetch_suite};
 
 use diaframe_core::{CounterSnapshot, TelemetrySession};
@@ -343,8 +345,115 @@ fn ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1000.0)
 }
 
+/// Renders a set of telemetry span duration samples as the v6 `spans`
+/// JSON object: per span name (sorted), the sample count, total, and
+/// the p50/p95/max duration in nanoseconds.
+fn spans_json(mut durs: Vec<(&'static str, Vec<u64>)>) -> String {
+    durs.sort_by_key(|(name, _)| *name);
+    let mut parts: Vec<String> = Vec::new();
+    for (name, mut d) in durs {
+        if d.is_empty() {
+            continue;
+        }
+        d.sort_unstable();
+        let count = d.len();
+        let total: u64 = d.iter().sum();
+        let p50 = diaframe_core::telemetry::percentile(&d, 50);
+        let p95 = diaframe_core::telemetry::percentile(&d, 95);
+        let max = *d.last().expect("non-empty samples");
+        parts.push(format!(
+            "\"{}\": {{ \"count\": {count}, \"total_ns\": {total}, \"p50_ns\": {p50}, \"p95_ns\": {p95}, \"max_ns\": {max} }}",
+            json_escape(name)
+        ));
+    }
+    format!("{{ {} }}", parts.join(", "))
+}
+
+/// Renders the top-`n` profiler hotspots — `(kind, label)` pairs ranked
+/// by self time — as the `figure6 --hotspots` table. Self time is the
+/// span's wall-clock minus its same-lane children, so a rule that is
+/// expensive *itself* ranks above one that merely sits atop a deep
+/// subtree; `count` is the span kind's payload counter (probes for
+/// `find_hint` batches, replayed steps for the checker).
+#[must_use]
+pub fn render_hotspots(profile: &diaframe_core::ProfileSession, n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:<28} | {:>7} {:>11} {:>11} {:>9}",
+        "kind", "label", "calls", "self ms", "cum ms", "count"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(88));
+    #[allow(clippy::cast_precision_loss)]
+    for h in profile.hotspots(n) {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<28} | {:>7} {:>11.3} {:>11.3} {:>9}",
+            h.kind.name(),
+            h.label,
+            h.calls,
+            h.self_ns as f64 / 1e6,
+            h.cum_ns as f64 / 1e6,
+            h.count
+        );
+    }
+    out.push_str(
+        "\nself = span wall-clock minus same-lane child spans; cum = span wall-clock;\ncount = the kind's payload (hint probes, checker steps, solver facts).\n",
+    );
+    out
+}
+
+/// Cross-checks the profiler's span rollups against the flat telemetry
+/// counters summed over every cached run: the span tree and the counter
+/// ledger are independent instrumentation paths, so agreement means
+/// neither lost events.
+///
+/// Asserted identities:
+///
+/// * Σ `find_hint` span counts == Σ `probes_attempted` + Σ
+///   `spec_wasted_probes` — a cancelled speculative worker's probes
+///   stay in the span tree but leave the winning session's ledger via
+///   `spec_wasted_probes`;
+/// * Σ (`check` + `check_window`) span counts == Σ `checker_steps`.
+///
+/// # Errors
+///
+/// Returns the violated identity with both sides' values.
+pub fn profile_identity_report(
+    profile: &diaframe_core::ProfileSession,
+    cache: &SuiteCache,
+) -> Result<String, String> {
+    use diaframe_core::SpanKind;
+    let rollup = profile.rollup();
+    let (mut probes, mut wasted, mut steps) = (0u64, 0u64, 0u64);
+    for (_, run) in cache.snapshot() {
+        probes += run.counters.probes_attempted;
+        wasted += run.counters.spec_wasted_probes;
+        steps += run.counters.checker_steps;
+    }
+    let find_hint = rollup[SpanKind::FindHint.index()].count;
+    if find_hint != probes + wasted {
+        return Err(format!(
+            "profile identity violated: find_hint span count {find_hint} != \
+             probes_attempted {probes} + spec_wasted_probes {wasted}"
+        ));
+    }
+    let check =
+        rollup[SpanKind::Check.index()].count + rollup[SpanKind::CheckWindow.index()].count;
+    if check != steps {
+        return Err(format!(
+            "profile identity violated: check+check_window span count {check} != \
+             checker_steps {steps}"
+        ));
+    }
+    Ok(format!(
+        "profile identity ok: find_hint span count {find_hint} == probes_attempted {probes} + spec_wasted_probes {wasted}\n\
+         profile identity ok: check+check_window span count {check} == checker_steps {steps}"
+    ))
+}
+
 /// Serializes the Figure 6 run as JSON (schema
-/// `diaframe-bench/figure6/v5`) for committing as a `BENCH_*.json`
+/// `diaframe-bench/figure6/v6`) for committing as a `BENCH_*.json`
 /// snapshot: per-example search/check/total timings and search-effort
 /// counters, the run's worker count, stack size, wall-clock, cache
 /// accounting, and the suite-wide counter aggregate.
@@ -368,8 +477,13 @@ fn ms(d: Duration) -> String {
 /// timings in a v5 snapshot are measured with speculative branch search
 /// and pipelined checking active (`DIAFRAME_SPECULATE` and
 /// `DIAFRAME_PIPELINE_CHECK` unset), which changes wall-clock but never
-/// traces or verdicts. The per-example jobs-scaling sweep lives in a
-/// separate snapshot (see [`jobs_sweep_json`], schema
+/// traces or verdicts. v6 adds the `spans` duration-histogram blocks
+/// (one per example, one aggregated over the suite): for each
+/// telemetry span kind (`search`/`find_hint`/`check`), the sample
+/// count, total, and p50/p95/max duration in nanoseconds — the
+/// spread behind the flat `search_ms` column, and the input to the
+/// `figure6 --diff` regression reporter. The per-example jobs-scaling
+/// sweep lives in a separate snapshot (see [`jobs_sweep_json`], schema
 /// `diaframe-bench/jobs-sweep/v1`), keeping this file's shape stable
 /// for per-field consumers.
 ///
@@ -387,8 +501,24 @@ pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
             .unwrap_or_else(|e| panic!("{}: counter invariant violated: {e}", m.name));
         aggregate.merge(&m.counters);
     }
+    // Span duration histograms come straight from the cached sessions
+    // (every request below is a warm hit), keeping `Measured` — which
+    // the driver-equivalence tests compare across worker counts — free
+    // of wall-clock samples.
+    let examples = all_examples();
+    let mut agg_durs: std::collections::BTreeMap<&'static str, Vec<u64>> =
+        std::collections::BTreeMap::new();
+    let mut per_spans: Vec<String> = Vec::with_capacity(examples.len());
+    for ex in &examples {
+        let run = cache.get_or_run(ex.as_ref(), Variant::Ok);
+        let durs = run.session.span_durations();
+        for (name, d) in &durs {
+            agg_durs.entry(name).or_default().extend(d);
+        }
+        per_spans.push(spans_json(durs));
+    }
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/figure6/v5\",");
+    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/figure6/v6\",");
     let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(
         out,
@@ -403,11 +533,16 @@ pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
         cache.misses()
     );
     let _ = writeln!(out, "  \"telemetry\": {},", aggregate.json_object());
+    let _ = writeln!(
+        out,
+        "  \"spans\": {},",
+        spans_json(agg_durs.into_iter().collect())
+    );
     let _ = writeln!(out, "  \"examples\": [");
     for (i, m) in rows.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{ \"name\": \"{}\", \"specs\": {}, \"manual\": {}, \"hints\": {}, \"custom_hints\": {}, \"search_ms\": {}, \"check_ms\": {}, \"total_ms\": {},\n      \"telemetry\": {} }}{}",
+            "    {{ \"name\": \"{}\", \"specs\": {}, \"manual\": {}, \"hints\": {}, \"custom_hints\": {}, \"search_ms\": {}, \"check_ms\": {}, \"total_ms\": {},\n      \"telemetry\": {},\n      \"spans\": {} }}{}",
             json_escape(m.name),
             m.specs,
             m.manual,
@@ -417,6 +552,7 @@ pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
             ms(m.check_time),
             ms(m.time + m.check_time),
             m.counters.json_object(),
+            per_spans[i],
             if i + 1 == rows.len() { "" } else { "," }
         );
     }

@@ -82,12 +82,16 @@ fn suite_tables_unaffected_by_telemetry() {
     assert_eq!(a, b, "rows (counters included) must not depend on an outer session");
     assert_eq!(render_figure6(&a), render_figure6(&b), "tables must be byte-identical");
 
-    // The v2 snapshot carries the telemetry blocks and a non-trivial
-    // aggregate (`figure6_json` re-checks every row's invariants).
+    // The v6 snapshot carries the telemetry blocks, the per-span-kind
+    // duration histograms, and a non-trivial aggregate (`figure6_json`
+    // re-checks every row's invariants).
     let json = figure6_json(&plain, 2, Duration::ZERO);
-    assert!(json.contains("\"schema\": \"diaframe-bench/figure6/v5\""));
+    assert!(json.contains("\"schema\": \"diaframe-bench/figure6/v6\""));
     assert!(json.contains("\"telemetry\""));
     assert!(json.contains("\"probes_attempted\""));
+    assert!(json.contains("\"spans\""));
+    assert!(json.contains("\"p95_ns\""));
+    assert!(json.contains("\"search\": { \"count\":"));
     let aggregate: u64 = figure6_rows(&plain)
         .iter()
         .map(|m| m.counters.probes_attempted)

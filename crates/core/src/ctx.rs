@@ -187,6 +187,13 @@ impl ProofCtx {
     /// Rebuilds the cached solver if `facts` changed since it was built.
     fn refresh_solver(&mut self) {
         if self.solver_cache.as_ref().map(|(rev, _)| *rev) != Some(self.facts_rev) {
+            // Asserting the whole fact list into a fresh solver is the
+            // batch-shaped cost of pure reasoning; individual `prove`
+            // calls against the cached solver are too cheap (and far too
+            // numerous) to span individually.
+            let mut sp = crate::profile::span(crate::profile::SpanKind::SolverBatch);
+            sp.set_label("solver-rebuild");
+            crate::profile::bump(self.facts.len() as u64);
             self.solver_cache = Some((self.facts_rev, PureSolver::new(&self.facts)));
         }
     }
@@ -197,6 +204,9 @@ impl ProofCtx {
     /// scope).
     fn refresh_egraph(&mut self) {
         if !self.egraph.as_ref().is_some_and(EGraph::valid) {
+            let mut sp = crate::profile::span(crate::profile::SpanKind::SolverBatch);
+            sp.set_label("egraph-rebuild");
+            crate::profile::bump(self.facts.len() as u64);
             self.egraph = Some(EGraph::from_facts(&self.facts));
         }
     }

@@ -70,11 +70,17 @@ where
     // behind it are atomics shared through an `Arc`, so all workers feed
     // one session and the merge at join is free.
     let telemetry = crate::telemetry::current();
+    // The profiler propagates the same way; pool workers register their
+    // own timeline lanes, and their spans hang off whatever span was
+    // open at the pool call site.
+    let profile = crate::profile::current();
+    let profile_parent = crate::profile::current_span_id();
     std::thread::scope(|scope| {
         let mut workers = Vec::with_capacity(jobs);
         for w in 0..jobs {
             let (cursor, slots, f) = (&cursor, &slots, &f);
             let telemetry = telemetry.clone();
+            let profile = profile.clone();
             let worker = std::thread::Builder::new()
                 .name(format!("diaframe-worker-{w}"))
                 // Workers double as verification sessions — see the
@@ -84,6 +90,9 @@ where
                     crate::verify::mark_session_thread();
                     let _slot = crate::speculate::occupy_worker();
                     let _telemetry_guard = telemetry.as_ref().map(|s| s.install());
+                    let _profile_guard = profile
+                        .as_ref()
+                        .map(|p| p.install_with_parent(profile_parent));
                     crate::tactic::with_ablation_override(ablation, || loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };

@@ -129,6 +129,53 @@ pub fn run_case(seed: u64, index: usize, cfg: &GenConfig) -> CaseReport {
             )),
         }
 
+        // Profile leg: the hierarchical profiler is observability too —
+        // the trace must be byte-identical under it, and its span
+        // rollups must reconcile *exactly* with the flat counters of
+        // the same run (the accounting identities of the profile
+        // layer: probe-batch span counts vs probes, checker span
+        // counts vs replayed steps).
+        let p_session = TelemetrySession::new(&format!("fuzz-{index}-profiled"));
+        let profile = crate::profile::ProfileSession::new();
+        let third = {
+            let _t = p_session.install();
+            let _p = profile.install();
+            let r = search_once(seed, index, cfg);
+            if let Some(t) = &r.trace {
+                // Replay under the profiler so the checker-side
+                // identity is exercised as well.
+                let _ = checker::check(t);
+            }
+            r
+        };
+        match &third.trace {
+            Some(t3) if trace_to_json(t3) == json => {}
+            Some(_) => divergences.push(format!(
+                "case {index}: profiled run produced a different trace"
+            )),
+            None => divergences.push(format!(
+                "case {index}: proved without the profiler but stuck with it"
+            )),
+        }
+        let snap = p_session.snapshot();
+        let rollup = profile.rollup();
+        let find_hint = rollup[crate::profile::SpanKind::FindHint.index()].count;
+        if find_hint != snap.probes_attempted + snap.spec_wasted_probes {
+            divergences.push(format!(
+                "case {index}: find_hint span count {find_hint} != probes_attempted {} \
+                 + spec_wasted_probes {}",
+                snap.probes_attempted, snap.spec_wasted_probes
+            ));
+        }
+        let check_spans = rollup[crate::profile::SpanKind::Check.index()].count
+            + rollup[crate::profile::SpanKind::CheckWindow.index()].count;
+        if check_spans != snap.checker_steps {
+            divergences.push(format!(
+                "case {index}: check span count {check_spans} != checker_steps {}",
+                snap.checker_steps
+            ));
+        }
+
         // Verdict leg: in-memory replay vs replay through the codec.
         let v_mem = checker::check(trace);
         let v_json = checker::check_json(&json);

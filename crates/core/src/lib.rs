@@ -26,6 +26,11 @@
 //!   backtracks and checker replays, times the search phases, and feeds
 //!   the structured stuck diagnostics of
 //!   [`report::Stuck::render_explain`] — at zero cost when disabled;
+//! * an opt-in hierarchical [`profile`] span tree records where wall
+//!   clock goes across pool workers, speculative branch workers and the
+//!   pipelined checker, exporting Chrome trace-event timelines, folded
+//!   flamegraph stacks and per-hint hotspot attribution — cross-checked
+//!   against the flat telemetry counters by asserted rollup identities;
 //! * a deterministic [`fuzz`] harness stress-tests the checker (the
 //!   trusted computing base) with generated entailments, a differential
 //!   oracle across every verdict path, and an adversarial trace mutator
@@ -38,6 +43,7 @@ pub mod fuzz;
 pub mod goal;
 pub mod hint;
 pub mod index;
+pub mod profile;
 pub mod report;
 pub mod spec;
 pub mod speculate;
@@ -51,6 +57,7 @@ pub mod verify;
 
 pub use ctx::{Hyp, ProofCtx};
 pub use driver::{collect_ordered, default_jobs, run_ordered, JobPanic};
+pub use profile::{ProfileSession, SpanKind};
 pub use goal::Goal;
 pub use index::{hint_index_enabled, set_hint_index_enabled, HeadSet};
 pub use report::Stuck;

@@ -1096,10 +1096,18 @@ impl<'a> Engine<'a> {
         cont1: Goal,
     ) -> Solved {
         self.push_step(TraceStep::BranchStart { index: 0 });
-        self.intro_hyps(ctx0, pending0, cont0)?;
+        {
+            let mut sp = crate::profile::span(crate::profile::SpanKind::Branch);
+            sp.set_label("0");
+            self.intro_hyps(ctx0, pending0, cont0)?;
+        }
         self.push_step(TraceStep::BranchEnd { index: 0 });
         self.push_step(TraceStep::BranchStart { index: 1 });
-        let out = self.intro_hyps(ctx1, pending1, cont1)?;
+        let out = {
+            let mut sp = crate::profile::span(crate::profile::SpanKind::Branch);
+            sp.set_label("1");
+            self.intro_hyps(ctx1, pending1, cont1)?
+        };
         self.push_step(TraceStep::BranchEnd { index: 1 });
         Ok(out)
     }
@@ -1162,13 +1170,47 @@ impl<'a> Engine<'a> {
         let w_session = worker_session.clone();
         let w_used = used_at_split.clone();
         let w_fires = fires_at_split.clone();
-        std::thread::scope(|scope| {
+        let w_prof = crate::profile::current();
+        let w_prof_parent = crate::profile::current_span_id();
+        // If branch 0 *panics* (unwinds out of the scope closure), the
+        // spawn must still be resolved as cancelled so the session's
+        // `spec_spawned == spec_won + spec_cancelled` identity holds
+        // even when a harness contains the panic and snapshots the
+        // counters afterwards — and the worker's probes must land in
+        // `spec_wasted_probes` or the profiler's probe-batch rollup
+        // would drift from the flat ledger. This guard sits *outside*
+        // the scope, so by the time it drops the scope's implicit join
+        // has completed and the worker session counters are final.
+        struct ResolveOnUnwind<'s> {
+            armed: bool,
+            session: &'s crate::telemetry::TelemetrySession,
+        }
+        impl Drop for ResolveOnUnwind<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    crate::telemetry::spec_cancelled();
+                    crate::telemetry::spec_wasted(self.session.snapshot().probes_attempted);
+                    crate::profile::mark(crate::profile::SpanKind::Speculate, "cancel");
+                }
+            }
+        }
+        let mut resolve_guard = ResolveOnUnwind {
+            armed: true,
+            session: &worker_session,
+        };
+        let result = std::thread::scope(|scope| {
             let handle = std::thread::Builder::new()
                 .name("diaframe-speculate".to_owned())
                 .stack_size(crate::verify::session_stack_bytes())
                 .spawn_scoped(scope, move || {
                     let _permit = permit; // unit freed when the worker exits
                     let _guard = w_session.install();
+                    let _prof_guard = w_prof
+                        .as_ref()
+                        .map(|p| p.install_with_parent(w_prof_parent));
+                    let mut prof_span =
+                        crate::profile::span(crate::profile::SpanKind::Speculate);
+                    prof_span.set_label("branch-1");
                     let intern_scope = diaframe_term::intern::scope();
                     let mut sub = Engine {
                         registry,
@@ -1192,20 +1234,21 @@ impl<'a> Engine<'a> {
             // the worker before the scope's implicit join so the panic
             // is not stalled behind a doomed search; nested speculation
             // inside the worker unwinds the same way, recursively. The
-            // spawn is also resolved as cancelled here so the session's
-            // `spec_spawned == spec_won + spec_cancelled` identity holds
-            // even when a harness contains the panic and snapshots the
-            // counters afterwards.
+            // counter bookkeeping for that path lives in the outer
+            // `ResolveOnUnwind` guard, which fires only after the join.
             struct CancelOnUnwind<'c>(&'c AtomicBool);
             impl Drop for CancelOnUnwind<'_> {
                 fn drop(&mut self) {
                     self.0.store(true, Ordering::Relaxed);
-                    crate::telemetry::spec_cancelled();
                 }
             }
             let unwind_guard = CancelOnUnwind(&cancel);
             self.push_step(TraceStep::BranchStart { index: 0 });
-            let r0 = self.intro_hyps(ctx0, pending0, cont0);
+            let r0 = {
+                let mut sp = crate::profile::span(crate::profile::SpanKind::Branch);
+                sp.set_label("0");
+                self.intro_hyps(ctx0, pending0, cont0)
+            };
             std::mem::forget(unwind_guard);
             if r0.is_err() {
                 // Branch 0 failed: whatever the worker finds is moot —
@@ -1218,6 +1261,7 @@ impl<'a> Engine<'a> {
             if let Err(mut e) = r0 {
                 crate::telemetry::spec_cancelled();
                 crate::telemetry::spec_wasted(worker_session.snapshot().probes_attempted);
+                crate::profile::mark(crate::profile::SpanKind::Speculate, "cancel");
                 // The stuck report snapshotted the counters at its
                 // construction site, *inside* branch 0 — before this
                 // spawn was resolved. Refresh it so the diagnostics a
@@ -1235,6 +1279,7 @@ impl<'a> Engine<'a> {
                         && consumed <= fuel_after_b0
                     {
                         crate::telemetry::spec_won();
+                        crate::profile::mark(crate::profile::SpanKind::Speculate, "win");
                         if let Some(session) = crate::telemetry::current() {
                             session.absorb(&worker_session);
                         }
@@ -1255,11 +1300,18 @@ impl<'a> Engine<'a> {
             // 1 serially from the kept originals.
             crate::telemetry::spec_cancelled();
             crate::telemetry::spec_wasted(worker_session.snapshot().probes_attempted);
+            crate::profile::mark(crate::profile::SpanKind::Speculate, "cancel");
             self.push_step(TraceStep::BranchStart { index: 1 });
-            let out = self.intro_hyps(ctx1, pending1, cont1)?;
+            let out = {
+                let mut sp = crate::profile::span(crate::profile::SpanKind::Branch);
+                sp.set_label("1");
+                self.intro_hyps(ctx1, pending1, cont1)?
+            };
             self.push_step(TraceStep::BranchEnd { index: 1 });
             Ok(out)
-        })
+        });
+        resolve_guard.armed = false;
+        result
     }
 
     /// Applies a user case-split tactic: prove the goal under `φ` and

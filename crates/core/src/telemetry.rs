@@ -446,10 +446,45 @@ fn ranked(map: &BTreeMap<String, u64>) -> Vec<(String, u64)> {
 // ---------------------------------------------------------------------------
 // Spans
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct SpanAgg {
     count: u64,
     total_ns: u64,
+    /// Individual durations, kept so sessions can report percentile
+    /// histograms (p50/p95/max) and the bench layer can merge
+    /// distributions across examples. A few hundred entries per
+    /// verification at most (one per search/find_hint/check span).
+    durs: Vec<u64>,
+}
+
+/// Duration histogram for one span name within a session (or merged
+/// across sessions by the bench layer): count, total, and nearest-rank
+/// p50/p95/max percentiles, all in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of spans recorded under this name.
+    pub count: u64,
+    /// Sum of all durations, nanoseconds.
+    pub total_ns: u64,
+    /// Median duration (nearest-rank), nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile duration (nearest-rank), nanoseconds.
+    pub p95_ns: u64,
+    /// Maximum duration, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Nearest-rank percentile over **sorted** durations (`q` in 0..=100).
+/// Public so the bench layer computes aggregate histograms over
+/// durations merged from many sessions with the same convention.
+#[must_use]
+pub fn percentile(sorted: &[u64], q: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (q * n).div_ceil(100).max(1);
+    sorted[usize::try_from(rank - 1).expect("rank fits usize")]
 }
 
 struct SpanRecord {
@@ -488,6 +523,7 @@ impl Drop for SpanGuard {
             let e = log.agg.entry(a.name).or_default();
             e.count += 1;
             e.total_ns += dur_ns;
+            e.durs.push(dur_ns);
             if a.inner.record_span_lines {
                 log.records.push(SpanRecord {
                     name: a.name,
@@ -500,27 +536,27 @@ impl Drop for SpanGuard {
 }
 
 /// Opens a timing span named `name`, closed when the returned guard
-/// drops. A no-op (no clock read, no allocation) unless a session with an
-/// active sink is installed on this thread.
+/// drops. A no-op (no clock read, no allocation) unless a session is
+/// installed on this thread. Durations are always aggregated into the
+/// session (they feed the p50/p95/max histograms of the figure6 JSON
+/// snapshot); the per-span JSON lines additionally require a file sink.
 #[must_use]
 pub fn span(name: &'static str) -> SpanGuard {
     let mut active = None;
     if ACTIVE_SESSIONS.load(Ordering::Relaxed) != 0 {
         CURRENT.with(|c| {
             if let Some(inner) = c.borrow().as_ref() {
-                if inner.record_spans {
-                    let depth = SPAN_DEPTH.with(|d| {
-                        let v = d.get();
-                        d.set(v + 1);
-                        v
-                    });
-                    active = Some(SpanActive {
-                        inner: Arc::clone(inner),
-                        name,
-                        depth,
-                        start: Instant::now(),
-                    });
-                }
+                let depth = SPAN_DEPTH.with(|d| {
+                    let v = d.get();
+                    d.set(v + 1);
+                    v
+                });
+                active = Some(SpanActive {
+                    inner: Arc::clone(inner),
+                    name,
+                    depth,
+                    start: Instant::now(),
+                });
             }
         });
     }
@@ -593,7 +629,6 @@ static SINK_LOCK: Mutex<()> = Mutex::new(());
 
 struct SessionInner {
     label: String,
-    record_spans: bool,
     record_span_lines: bool,
     counters: Counters,
     diag: Mutex<DiagState>,
@@ -608,6 +643,14 @@ struct SessionInner {
 #[derive(Clone)]
 pub struct TelemetrySession {
     inner: Arc<SessionInner>,
+}
+
+impl std::fmt::Debug for TelemetrySession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetrySession")
+            .field("label", &self.inner.label)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Counts sessions currently installed in *any* thread; the
@@ -628,7 +671,6 @@ impl TelemetrySession {
         TelemetrySession {
             inner: Arc::new(SessionInner {
                 label: label.to_owned(),
-                record_spans: s.is_on(),
                 record_span_lines: matches!(s, Sink::File(_)),
                 counters: Counters::default(),
                 diag: Mutex::new(DiagState::default()),
@@ -807,7 +849,41 @@ impl TelemetrySession {
             let e = log.agg.entry(name).or_default();
             e.count += a.count;
             e.total_ns += a.total_ns;
+            e.durs.extend(a.durs);
         }
+    }
+
+    /// Per-span-name duration histograms (count/total/p50/p95/max) for
+    /// this session, in name order. These land in the per-example
+    /// `"spans"` block of the figure6 v6 snapshot.
+    #[must_use]
+    pub fn span_stats(&self) -> Vec<(&'static str, SpanStats)> {
+        self.span_durations()
+            .into_iter()
+            .map(|(name, mut durs)| {
+                durs.sort_unstable();
+                let stats = SpanStats {
+                    count: durs.len() as u64,
+                    total_ns: durs.iter().sum(),
+                    p50_ns: percentile(&durs, 50),
+                    p95_ns: percentile(&durs, 95),
+                    max_ns: durs.last().copied().unwrap_or(0),
+                };
+                (name, stats)
+            })
+            .collect()
+    }
+
+    /// Raw span durations per name (unsorted, in record order) — the
+    /// bench layer concatenates these across examples to compute
+    /// aggregate histograms with the same percentile convention.
+    #[must_use]
+    pub fn span_durations(&self) -> Vec<(&'static str, Vec<u64>)> {
+        let log = self.inner.spans.lock().unwrap();
+        log.agg
+            .iter()
+            .map(|(name, a)| (*name, a.durs.clone()))
+            .collect()
     }
 
     /// Writes the session's spans and summary to the process sink.
@@ -876,10 +952,18 @@ impl TelemetrySession {
                     if i > 0 {
                         spans_json.push_str(", ");
                     }
+                    let mut durs = a.durs.clone();
+                    durs.sort_unstable();
                     let _ = write!(
                         spans_json,
-                        "\"{}\": {{\"count\": {}, \"total_ns\": {}}}",
-                        name, a.count, a.total_ns
+                        "\"{}\": {{\"count\": {}, \"total_ns\": {}, \"p50_ns\": {}, \
+                         \"p95_ns\": {}, \"max_ns\": {}}}",
+                        name,
+                        a.count,
+                        a.total_ns,
+                        percentile(&durs, 50),
+                        percentile(&durs, 95),
+                        durs.last().copied().unwrap_or(0)
                     );
                 }
                 let mut specs_json = String::new();

@@ -68,25 +68,93 @@ pub(crate) fn json_escape(s: &str) -> String {
 
 /// A parsed JSON value. Numbers keep their raw text so integer consumers
 /// never round-trip through `f64`.
+///
+/// Public because the trace codec is not this parser's only client: the
+/// profiler's Chrome-trace validator ([`crate::profile`]) and the bench
+/// crate's snapshot-diff reporter (`figure6 --diff`) parse generic JSON
+/// documents with it.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub enum JsonValue {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// A number, kept as its raw source text (integers stay exact;
+    /// use [`JsonValue::as_u64`] / [`JsonValue::as_f64`] to interpret).
     Num(String),
+    /// A string (escapes already decoded).
     Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source field order (duplicate keys kept as-is;
+    /// lookups return the first).
+    Obj(Vec<(String, JsonValue)>),
 }
 
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+impl JsonValue {
+    /// Object field lookup; `None` for non-objects and missing keys.
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a JsonValue> {
         match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn field<'a>(&'a self, key: &str) -> Result<&'a Json, JsonError> {
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool payload, if this is a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This number as a `u64`, if it is an unsigned integer literal.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// This number as an `f64` (integers and decimal fractions alike).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field slice in source order, if this is an object.
+    #[must_use]
+    pub fn entries(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn field<'a>(&'a self, key: &str) -> Result<&'a JsonValue, JsonError> {
         match self.get(key) {
             Some(v) => Ok(v),
             None => err(format!("missing field `{key}`")),
@@ -95,30 +163,30 @@ impl Json {
 
     fn str_field(&self, key: &str) -> Result<&str, JsonError> {
         match self.field(key)? {
-            Json::Str(s) => Ok(s),
+            JsonValue::Str(s) => Ok(s),
             v => err(format!("field `{key}`: expected string, got {v:?}")),
         }
     }
 
     fn bool_field(&self, key: &str) -> Result<bool, JsonError> {
         match self.field(key)? {
-            Json::Bool(b) => Ok(*b),
+            JsonValue::Bool(b) => Ok(*b),
             v => err(format!("field `{key}`: expected bool, got {v:?}")),
         }
     }
 
     fn usize_field(&self, key: &str) -> Result<usize, JsonError> {
         match self.field(key)? {
-            Json::Num(n) => n
+            JsonValue::Num(n) => n
                 .parse::<usize>()
                 .map_err(|_| JsonError(format!("field `{key}`: bad integer {n}"))),
             v => err(format!("field `{key}`: expected number, got {v:?}")),
         }
     }
 
-    fn arr_field<'a>(&'a self, key: &str) -> Result<&'a [Json], JsonError> {
+    fn arr_field<'a>(&'a self, key: &str) -> Result<&'a [JsonValue], JsonError> {
         match self.field(key)? {
-            Json::Arr(items) => Ok(items),
+            JsonValue::Arr(items) => Ok(items),
             v => err(format!("field `{key}`: expected array, got {v:?}")),
         }
     }
@@ -126,7 +194,7 @@ impl Json {
     /// An integer encoded as a JSON string (the wide-integer convention).
     fn wide_int_field<T: std::str::FromStr>(&self, key: &str) -> Result<T, JsonError> {
         match self.field(key)? {
-            Json::Str(s) => s
+            JsonValue::Str(s) => s
                 .parse::<T>()
                 .map_err(|_| JsonError(format!("field `{key}`: bad wide integer {s:?}"))),
             v => err(format!("field `{key}`: expected string-encoded integer, got {v:?}")),
@@ -175,21 +243,21 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, JsonError> {
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
         self.skip_ws();
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             other => err(format!("unexpected {other:?} at byte {}", self.pos)),
         }
     }
 
-    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
             Ok(v)
@@ -198,7 +266,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn number(&mut self) -> Result<Json, JsonError> {
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -209,9 +277,21 @@ impl<'a> Parser<'a> {
         if self.pos == start || (self.pos == start + 1 && self.bytes[start] == b'-') {
             return err(format!("bad number at byte {start}"));
         }
-        // Fractions/exponents never occur in this grammar.
+        // The trace grammar is integer-only, but generic clients (the
+        // snapshot-diff reporter reads `search_ms` timings) need decimal
+        // fractions. Exponents never occur in anything this repo emits.
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return err(format!("bad number at byte {start}"));
+            }
+        }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        Ok(Json::Num(text.to_owned()))
+        Ok(JsonValue::Num(text.to_owned()))
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
@@ -266,13 +346,13 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn array(&mut self) -> Result<Json, JsonError> {
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Json::Arr(items));
+            return Ok(JsonValue::Arr(items));
         }
         loop {
             items.push(self.value()?);
@@ -281,20 +361,20 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(Json::Arr(items));
+                    return Ok(JsonValue::Arr(items));
                 }
                 other => return err(format!("expected `,` or `]`, found {other:?}")),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, JsonError> {
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Json::Obj(fields));
+            return Ok(JsonValue::Obj(fields));
         }
         loop {
             self.skip_ws();
@@ -308,7 +388,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Json::Obj(fields));
+                    return Ok(JsonValue::Obj(fields));
                 }
                 other => return err(format!("expected `,` or `}}`, found {other:?}")),
             }
@@ -316,7 +396,7 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn parse_json(text: &str) -> Result<Json, JsonError> {
+fn parse_json(text: &str) -> Result<JsonValue, JsonError> {
     let mut p = Parser::new(text);
     let v = p.value()?;
     p.skip_ws();
@@ -324,6 +404,16 @@ fn parse_json(text: &str) -> Result<Json, JsonError> {
         return err(format!("trailing data at byte {}", p.pos));
     }
     Ok(v)
+}
+
+/// Parse an arbitrary JSON document into a [`JsonValue`] (the whole input
+/// must be one value; trailing data is rejected). This is the parser the
+/// profiler's trace validator and the bench snapshot-diff reporter use.
+///
+/// # Errors
+/// Returns a [`JsonError`] describing the first malformed byte.
+pub fn parse_json_value(text: &str) -> Result<JsonValue, JsonError> {
+    parse_json(text)
 }
 
 // ---------------------------------------------------------------------------
@@ -468,18 +558,18 @@ fn term_json(t: &Term, out: &mut String) {
     }
 }
 
-fn term_from_json(v: &Json) -> Result<Term, JsonError> {
+fn term_from_json(v: &JsonValue) -> Result<Term, JsonError> {
     let obj = match v {
-        Json::Obj(_) => v,
+        JsonValue::Obj(_) => v,
         other => return err(format!("expected term object, got {other:?}")),
     };
-    if let Some(Json::Num(n)) = obj.get("v") {
+    if let Some(JsonValue::Num(n)) = obj.get("v") {
         let idx: usize = n
             .parse()
             .map_err(|_| JsonError(format!("bad var index {n}")))?;
         return Ok(Term::Var(VarId::from_index(idx)));
     }
-    if let Some(Json::Num(n)) = obj.get("e") {
+    if let Some(JsonValue::Num(n)) = obj.get("e") {
         let idx: usize = n
             .parse()
             .map_err(|_| JsonError(format!("bad evar index {n}")))?;
@@ -491,8 +581,8 @@ fn term_from_json(v: &Json) -> Result<Term, JsonError> {
     if obj.get("b").is_some() {
         return Ok(Term::Bool(obj.bool_field("b")?));
     }
-    if let Some(Json::Arr(parts)) = obj.get("q") {
-        if let [Json::Str(num), Json::Str(den)] = parts.as_slice() {
+    if let Some(JsonValue::Arr(parts)) = obj.get("q") {
+        if let [JsonValue::Str(num), JsonValue::Str(den)] = parts.as_slice() {
             let num: i128 = num
                 .parse()
                 .map_err(|_| JsonError(format!("bad fraction numerator {num:?}")))?;
@@ -566,7 +656,7 @@ fn prop_json(p: &PureProp, out: &mut String) {
     }
 }
 
-fn prop_from_json(v: &Json) -> Result<PureProp, JsonError> {
+fn prop_from_json(v: &JsonValue) -> Result<PureProp, JsonError> {
     let tag = v.str_field("p")?;
     match tag {
         "true" => Ok(PureProp::True),
@@ -631,7 +721,7 @@ fn varctx_json(vars: &VarCtx, out: &mut String) {
     out.push_str("]}");
 }
 
-fn varctx_from_json(v: &Json) -> Result<VarCtx, JsonError> {
+fn varctx_from_json(v: &JsonValue) -> Result<VarCtx, JsonError> {
     let mut ctx = VarCtx::new();
     for entry in v.arr_field("vars")? {
         let sort = sort_from_name(entry.str_field("sort")?)?;
@@ -644,7 +734,7 @@ fn varctx_from_json(v: &Json) -> Result<VarCtx, JsonError> {
         let level = u32::try_from(entry.usize_field("level")?)
             .map_err(|_| JsonError("evar level out of range".into()))?;
         let sol = match entry.field("sol")? {
-            Json::Null => None,
+            JsonValue::Null => None,
             t => Some(term_from_json(t)?),
         };
         ctx.push_raw_evar(sort, level, sol);
@@ -743,7 +833,7 @@ pub fn step_from_json(text: &str) -> Result<TraceStep, JsonError> {
     step_from_value(&parse_json(text)?)
 }
 
-fn step_from_value(v: &Json) -> Result<TraceStep, JsonError> {
+fn step_from_value(v: &JsonValue) -> Result<TraceStep, JsonError> {
     let tag = v.str_field("step")?;
     let kind = TraceKind::from_name(tag)
         .ok_or_else(|| JsonError(format!("unknown step kind {tag:?}")))?;
@@ -769,13 +859,13 @@ fn step_from_value(v: &Json) -> Result<TraceStep, JsonError> {
                 .arr_field("rules")?
                 .iter()
                 .map(|r| match r {
-                    Json::Str(s) => Ok(s.clone()),
+                    JsonValue::Str(s) => Ok(s.clone()),
                     other => err(format!("hint rule must be a string, got {other:?}")),
                 })
                 .collect::<Result<Vec<_>, _>>()?,
             hyp: match v.field("hyp")? {
-                Json::Null => None,
-                Json::Str(s) => Some(s.clone()),
+                JsonValue::Null => None,
+                JsonValue::Str(s) => Some(s.clone()),
                 other => return err(format!("hyp must be a string or null, got {other:?}")),
             },
             custom: v.bool_field("custom")?,
@@ -842,7 +932,7 @@ pub fn trace_to_json(trace: &ProofTrace) -> String {
 pub fn trace_from_json(text: &str) -> Result<ProofTrace, JsonError> {
     let v = parse_json(text)?;
     let items = match &v {
-        Json::Arr(items) => items,
+        JsonValue::Arr(items) => items,
         other => return err(format!("expected a trace array, got {other:?}")),
     };
     let mut trace = ProofTrace::new();

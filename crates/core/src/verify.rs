@@ -289,10 +289,14 @@ pub fn with_verification_session<T: Send>(f: impl FnOnce() -> T + Send) -> T {
         return f();
     }
     // Thread-locals don't cross the spawn: re-establish the caller's
-    // ablation override, telemetry session and pipeline sink inside the
-    // worker.
+    // ablation override, telemetry session, profile session and pipeline
+    // sink inside the worker. Profile spans opened in the worker adopt
+    // the caller's innermost span as parent so the tree stays connected
+    // across the hop.
     let ablation = crate::tactic::current_ablation();
     let telemetry = crate::telemetry::current();
+    let profile = crate::profile::current();
+    let profile_parent = crate::profile::current_span_id();
     let pipeline = pipeline_sink();
     std::thread::scope(|scope| {
         let outcome = std::thread::Builder::new()
@@ -301,6 +305,9 @@ pub fn with_verification_session<T: Send>(f: impl FnOnce() -> T + Send) -> T {
             .spawn_scoped(scope, move || {
                 IN_SESSION.with(|c| c.set(true));
                 let _telemetry_guard = telemetry.as_ref().map(|s| s.install());
+                let _profile_guard = profile
+                    .as_ref()
+                    .map(|p| p.install_with_parent(profile_parent));
                 let _pipeline_guard = pipeline.map(install_pipeline_sink);
                 crate::tactic::with_ablation_override(ablation, f)
             })
@@ -324,6 +331,8 @@ fn verify_inner(
     // hash-consing arena and its zonk/normalize memo tables, and the
     // hit/miss counters it reports stay deterministic per spec no matter
     // how worker threads are reused across examples.
+    let mut prof_span = crate::profile::span(crate::profile::SpanKind::Spec);
+    prof_span.set_label(&spec.name);
     let intern_scope = diaframe_term::intern::scope();
     let result = verify_goal(registry, specs, opts, ctx, spec);
     crate::telemetry::intern_stats(diaframe_term::intern::stats());
@@ -389,6 +398,7 @@ fn verify_goal(
     // substitutes it at the value step, so no further renaming is needed.
     let solved = {
         let _span = crate::telemetry::span("search");
+        let _prof = crate::profile::span(crate::profile::SpanKind::Search);
         engine.solve(ctx, goal)
     };
     if let Some(sink) = frames_sink {
