@@ -45,10 +45,19 @@
 #      surviving trace mutants, two runs at the same seed must produce
 #      byte-identical JSON reports, and a third run under the profiler
 #      must produce the *same* report bytes plus a validated trace
+#  11. the adequacy schedule-sweep gate: every proved example's client
+#      must sweep clean (1000 seeded interleavings + preemption-bounded
+#      DFS, postconditions checked, race / manifest-deadlock /
+#      lock-order detectors live), every intentionally-buggy negative
+#      example must be flagged with its expected categories, and the
+#      JSON snapshot must be byte-identical across worker counts and
+#      against the committed BENCH_adequacy.json
 #
-# The committed BENCH_figure6.json is a reference snapshot; regenerate it
-# with  cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out BENCH_figure6.json
-# (see EXPERIMENTS.md "Performance" for how to compare runs).
+# The committed BENCH_figure6.json and BENCH_adequacy.json are reference
+# snapshots; regenerate them with
+#   cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out BENCH_figure6.json
+#   cargo run --release -p diaframe-bench --bin adequacy -- --json-out BENCH_adequacy.json
+# (see EXPERIMENTS.md "Performance" / "Adequacy sweep" for how to compare runs).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -193,5 +202,25 @@ DIAFRAME_PROFILE=target/fuzz_profile.json \
   > target/fuzz_profiled.log
 grep -q 'validated, written to' target/fuzz_profiled.log
 cmp target/fuzz_report.json target/fuzz_report3.json
+
+# --- adequacy schedule-sweep gate (see EXPERIMENTS.md "Adequacy sweep") --
+# Fixed seeds: every proved example's client under 1000 RandomSched
+# interleavings + preemption-bounded DFS with the dynamic detectors on,
+# postconditions checked on every terminating run; the four negative
+# examples must be flagged with their expected categories. Non-zero
+# exit on any dirty proved row or missed negative.
+cargo run --release -p diaframe-bench --bin adequacy -- \
+  --json-out target/BENCH_adequacy.json > target/adequacy.log
+grep -q 'gate: PASS' target/adequacy.log
+grep -q '"schema": "diaframe-bench/adequacy/v1"' target/BENCH_adequacy.json
+grep -q '"verdict": "pass"' target/BENCH_adequacy.json
+# Deterministic down to the bytes: a second run at a different worker
+# count must produce the identical snapshot (no timestamps, no global
+# RNG, jobs excluded from the report), and the bytes must match the
+# committed reference snapshot.
+cargo run --release -p diaframe-bench --bin adequacy -- \
+  --jobs 2 --json-out target/BENCH_adequacy2.json > /dev/null
+cmp target/BENCH_adequacy.json target/BENCH_adequacy2.json
+cmp BENCH_adequacy.json target/BENCH_adequacy.json
 
 echo "ci: all gates passed"

@@ -1,0 +1,85 @@
+//! Runs the schedule-sweep adequacy experiment: every proved example's
+//! client under seeded random interleavings + preemption-bounded DFS
+//! with the deadlock/lock-cycle/race detectors on, plus the
+//! intentionally-buggy negative suite the detectors must flag.
+//!
+//! ```text
+//! cargo run -p diaframe-bench --bin adequacy -- \
+//!     [--seeds N] [--fuel N] [--preemption-bound N] \
+//!     [--dfs-max-runs N] [--dfs-max-steps N] \
+//!     [--neg-seeds N] [--neg-fuel N] \
+//!     [--jobs N] [--json] [--json-out PATH]
+//! ```
+//!
+//! Prints the human-readable report (or, with `--json`, the
+//! machine-readable snapshot — schema `diaframe-bench/adequacy/v1`);
+//! `--json-out` writes the snapshot to a file alongside the report —
+//! the committed `BENCH_adequacy.json` is produced that way. The
+//! snapshot is byte-reproducible: it depends only on the sweep
+//! parameters, never on `--jobs`, wall-clock or timestamps, which CI
+//! checks by running twice and `cmp`-ing. Exits non-zero when the gate
+//! fails (a proved example swept dirty or a negative went unflagged).
+
+use diaframe_bench::{adequacy_json, render_adequacy, run_adequacy, AdequacyConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let opt = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let num = |flag: &str| {
+        opt(flag).map(|v| {
+            v.parse::<u64>()
+                .unwrap_or_else(|_| panic!("{flag}: bad number {v:?}"))
+        })
+    };
+    let mut cfg = AdequacyConfig::default();
+    if let Some(v) = num("--seeds") {
+        cfg.seeds = v;
+    }
+    if let Some(v) = num("--fuel") {
+        cfg.fuel = v;
+    }
+    if let Some(v) = num("--preemption-bound") {
+        cfg.preemption_bound = u32::try_from(v).expect("--preemption-bound: out of range");
+    }
+    if let Some(v) = num("--dfs-max-runs") {
+        cfg.dfs_max_runs = v;
+    }
+    if let Some(v) = num("--dfs-max-steps") {
+        cfg.dfs_max_steps = v;
+    }
+    if let Some(v) = num("--neg-seeds") {
+        cfg.neg_seeds = v;
+    }
+    if let Some(v) = num("--neg-fuel") {
+        cfg.neg_fuel = v;
+    }
+    if let Some(v) = num("--jobs") {
+        cfg.jobs = usize::try_from(v).map_or(1, |n| n.max(1));
+    }
+
+    let start = std::time::Instant::now();
+    let report = run_adequacy(&cfg);
+    let wall = start.elapsed();
+
+    let json = has("--json");
+    if json {
+        print!("{}", adequacy_json(&report));
+    } else {
+        println!("== adequacy schedule sweep ==");
+        print!("{}", render_adequacy(&report));
+        println!("[{} jobs, {wall:.2?} wall]", cfg.jobs);
+    }
+    if let Some(path) = opt("--json-out") {
+        let snapshot = adequacy_json(&report);
+        std::fs::write(path, &snapshot).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        if !json {
+            println!("[adequacy snapshot written to {path}]");
+        }
+    }
+    std::process::exit(i32::from(!report.pass()));
+}

@@ -2,9 +2,10 @@
 //! The benchmark harness regenerating the paper's evaluation (Figure 6
 //! and the §6 failing-verification experiment).
 //!
-//! The `figure6` binary prints the full comparison table; the criterion
-//! benches (`verification`, `failing`, `substrate`, `hint_search`)
-//! measure wall-clock verification times.
+//! The `figure6` binary prints the full comparison table; the
+//! `adequacy` binary runs the schedule-sweep adequacy experiment (see
+//! [`adequacy`]); the criterion benches (`verification`, `failing`,
+//! `substrate`, `hint_search`) measure wall-clock verification times.
 //!
 //! Measurement and rendering are split: the [`suite`] driver verifies
 //! every `(example, variant, ablation)` task once — in parallel, on
@@ -13,10 +14,15 @@
 //! depend on the worker count, which the equivalence tests check
 //! byte-for-byte.
 
+pub mod adequacy;
 mod cache;
 pub mod diff;
 mod suite;
 
+pub use adequacy::{
+    adequacy_json, render_adequacy, run_adequacy, AdequacyConfig, AdequacyReport, NegativeRow,
+    ProvedRow,
+};
 pub use cache::{CachedRun, SuiteCache, Variant};
 pub use diff::{diff_snapshots, DiffOptions, DiffReport};
 pub use suite::{ablation_configs, assert_counter_invariants, prefetch_ablations, prefetch_suite};
@@ -325,7 +331,7 @@ pub fn aggregate_table(cache: &SuiteCache) -> String {
     )
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,113 @@
+//! Edge cases of the `figure6 --diff` snapshot reporter: examples
+//! missing in either direction, degenerate (empty) snapshots and
+//! telemetry blocks, and the exact counter-floor boundary.
+
+use diaframe_bench::{diff_snapshots, DiffOptions};
+use std::fmt::Write as _;
+
+/// Builds a v6-shaped snapshot from `(name, search_ms, telemetry-json)`
+/// rows. Includes an empty `spans` histogram block per example — the
+/// diff must tolerate (and ignore) it.
+fn snap(rows: &[(&str, f64, &str)]) -> String {
+    let mut s =
+        String::from("{\n  \"schema\": \"diaframe-bench/figure6/v6\",\n  \"spans\": { },\n  \"examples\": [\n");
+    for (i, (n, t, tele)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{ \"name\": \"{n}\", \"search_ms\": {t:.3}, \"telemetry\": {tele}, \"spans\": {{ }} }}{}",
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[test]
+fn example_missing_from_current_gates_but_new_example_only_notes() {
+    let base = snap(&[("a", 100.0, "{ }"), ("gone", 50.0, "{ }")]);
+    let cur = snap(&[("a", 100.0, "{ }"), ("brand_new", 50.0, "{ }")]);
+    let r = diff_snapshots(&base, &cur, &DiffOptions::default()).unwrap();
+    // Losing an example is a regression (coverage shrank)…
+    assert_eq!(r.regressions.len(), 1, "{:?}", r.regressions);
+    assert!(r.regressions[0].contains("gone"));
+    assert!(r.regressions[0].contains("missing from current"));
+    assert!(r.markdown.contains("**MISSING**"));
+    // …but gaining one is informational only.
+    assert!(r.notes.iter().any(|l| l.contains("brand_new") && l.contains("new")));
+    assert!(!r.regressions.iter().any(|l| l.contains("brand_new")));
+}
+
+#[test]
+fn empty_baseline_makes_the_aggregate_gate_fire_not_divide_by_zero() {
+    // No baseline examples: aggregate base sum is 0 ms, so any current
+    // work is an infinite ratio — the diff must gate, not panic or pass.
+    let base = snap(&[]);
+    let cur = snap(&[("a", 100.0, "{ }")]);
+    let r = diff_snapshots(&base, &cur, &DiffOptions::default()).unwrap();
+    assert!(
+        r.regressions.iter().any(|l| l.starts_with("aggregate")),
+        "{:?}",
+        r.regressions
+    );
+    assert!(r.notes.iter().any(|l| l.contains("a") && l.contains("new")));
+}
+
+#[test]
+fn two_empty_snapshots_diff_clean() {
+    let empty = snap(&[]);
+    let r = diff_snapshots(&empty, &empty, &DiffOptions::default()).unwrap();
+    assert!(r.regressions.is_empty(), "{:?}", r.regressions);
+    assert!(r.markdown.contains("PASS — 0 regressions"));
+}
+
+#[test]
+fn empty_telemetry_blocks_are_tolerated() {
+    // No counters at all (and empty span histograms): parse, compare,
+    // pass — absence of data is not drift.
+    let a = snap(&[("a", 10.0, "{ }")]);
+    let r = diff_snapshots(&a, &a, &DiffOptions::default()).unwrap();
+    assert!(r.regressions.is_empty(), "{:?}", r.regressions);
+    assert!(r.markdown.contains("none"), "counter sections should be empty");
+}
+
+#[test]
+fn counter_floor_boundary_is_exact() {
+    let opts = DiffOptions::default();
+    assert_eq!(opts.counter_floor, 100, "test pins the default floor");
+    // hi == 99 < floor: even an infinite ratio (0 → 99) must not gate.
+    let base = snap(&[("a", 10.0, "{ \"probes_attempted\": 0 }")]);
+    let cur = snap(&[("a", 10.0, "{ \"probes_attempted\": 99 }")]);
+    let r = diff_snapshots(&base, &cur, &opts).unwrap();
+    assert!(r.regressions.is_empty(), "{:?}", r.regressions);
+
+    // hi == 100 == floor: the counter now participates, and 0 → 100 is
+    // infinite drift — gates.
+    let cur = snap(&[("a", 10.0, "{ \"probes_attempted\": 100 }")]);
+    let r = diff_snapshots(&base, &cur, &opts).unwrap();
+    assert_eq!(r.regressions.len(), 1, "{:?}", r.regressions);
+    assert!(r.regressions[0].contains("probes_attempted"));
+
+    // At the floor but within the ratio: 100 → 120 (1.2× ≤ 1.5×) passes.
+    let base = snap(&[("a", 10.0, "{ \"probes_attempted\": 100 }")]);
+    let cur = snap(&[("a", 10.0, "{ \"probes_attempted\": 120 }")]);
+    let r = diff_snapshots(&base, &cur, &opts).unwrap();
+    assert!(r.regressions.is_empty(), "{:?}", r.regressions);
+}
+
+#[test]
+fn zero_to_zero_counters_and_timings_are_not_drift() {
+    let a = snap(&[("a", 0.0, "{ \"probes_attempted\": 0 }")]);
+    let r = diff_snapshots(&a, &a, &DiffOptions::default()).unwrap();
+    assert!(r.regressions.is_empty(), "{:?}", r.regressions);
+}
+
+#[test]
+fn counter_improvements_gate_too_because_determinism_cuts_both_ways() {
+    // Deterministic counters gate on drift in *either* direction: a 3×
+    // drop means the engine changed and the baseline is stale.
+    let base = snap(&[("a", 10.0, "{ \"probes_attempted\": 3000 }")]);
+    let cur = snap(&[("a", 10.0, "{ \"probes_attempted\": 1000 }")]);
+    let r = diff_snapshots(&base, &cur, &DiffOptions::default()).unwrap();
+    assert_eq!(r.regressions.len(), 1, "{:?}", r.regressions);
+    assert!(r.regressions[0].contains("probes_attempted"));
+}

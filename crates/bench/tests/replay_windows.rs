@@ -1,0 +1,129 @@
+//! Property test: feeding a trace to the incremental [`Replay`] in
+//! windows — any chunking whatsoever — reaches exactly the verdict of
+//! the one-shot batch [`check`], on valid traces *and* on
+//! certified-invalid mutants (same step index, same message). This is
+//! the guarantee the pipelined-checking consumer leans on: windowing
+//! changes *when* steps are validated, never the verdict.
+//!
+//! Corpus: the deterministic fuzz generator's traces (and structured
+//! mutations of them), plus every proof trace of the 24 verified
+//! examples.
+
+use diaframe_bench::{prefetch_suite, SuiteCache, Variant};
+use diaframe_core::checker::{check, CheckError, Replay};
+use diaframe_core::fuzz::{gen_trace, mutate_trace, trace_of_steps};
+use diaframe_core::TraceStep;
+use diaframe_examples::all_examples;
+
+/// A tiny deterministic PRNG for window sizes (xorshift64*); the test
+/// must not depend on wall-clock or global randomness.
+struct WindowRng(u64);
+
+impl WindowRng {
+    fn next_window(&mut self) -> usize {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 % 7 + 1) as usize
+    }
+}
+
+/// Replays `steps` in pseudo-random windows of 1–7 steps.
+fn windowed_check(steps: &[TraceStep], seed: u64) -> Result<(), CheckError> {
+    // One interner scope per trace, mirroring the batch `check` path.
+    let scope = diaframe_term::intern::scope();
+    let mut rng = WindowRng(seed | 1);
+    let mut replay = Replay::new();
+    let mut fed = 0;
+    let mut verdict = Ok(());
+    'outer: while fed < steps.len() {
+        let w = rng.next_window().min(steps.len() - fed);
+        for s in &steps[fed..fed + w] {
+            if let Err(e) = replay.feed(s) {
+                verdict = Err(e);
+                break 'outer;
+            }
+        }
+        fed += w;
+    }
+    if verdict.is_ok() {
+        verdict = replay.finish();
+    }
+    drop(scope);
+    verdict
+}
+
+const WINDOW_SEEDS: [u64; 4] = [1, 0xBEEF, 0x5EED_5EED, u64::MAX];
+
+#[test]
+fn windowed_replay_agrees_with_one_shot_check_on_fuzz_corpus() {
+    for i in 0..48 {
+        let trace = gen_trace(0xD1AF, i);
+        let one_shot = check(&trace);
+        assert!(one_shot.is_ok(), "synth-{i}: generated trace invalid: {one_shot:?}");
+        for seed in WINDOW_SEEDS {
+            assert_eq!(
+                windowed_check(trace.steps(), seed),
+                one_shot,
+                "synth-{i}: windowed verdict diverged (window seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn windowed_replay_agrees_with_one_shot_check_on_mutants() {
+    let mut mutants_seen = 0;
+    for i in 0..16 {
+        let trace = gen_trace(0xD1AF, i);
+        for (j, mutant) in mutate_trace(trace.steps(), 0xC0FF_EE00 + i as u64, 4)
+            .into_iter()
+            .enumerate()
+        {
+            mutants_seen += 1;
+            let one_shot = check(&trace_of_steps(&mutant.steps));
+            assert!(
+                one_shot.is_err(),
+                "synth-{i}/mutant-{j} ({}): certified-invalid mutant passed",
+                mutant.description
+            );
+            for seed in WINDOW_SEEDS {
+                assert_eq!(
+                    windowed_check(&mutant.steps, seed),
+                    one_shot,
+                    "synth-{i}/mutant-{j} ({}): windowed error diverged (window seed {seed})",
+                    mutant.description
+                );
+            }
+        }
+    }
+    assert!(mutants_seen > 0, "mutation corpus was empty");
+}
+
+#[test]
+fn windowed_replay_agrees_on_every_example_trace() {
+    let cache = SuiteCache::new();
+    prefetch_suite(&cache, diaframe_core::default_jobs(), false);
+    let examples = all_examples();
+    let mut traces = 0;
+    for ex in &examples {
+        let run = cache.get_or_run(ex.as_ref(), Variant::Ok);
+        let outcome = run.expect_ok(ex.name());
+        for (k, proof) in outcome.proofs.iter().enumerate() {
+            traces += 1;
+            let one_shot = check(&proof.trace);
+            assert!(one_shot.is_ok(), "{} proof {k}: {one_shot:?}", ex.name());
+            // One pseudo-random chunking per trace keeps the suite pass
+            // cheap; the window seed still varies per (example, proof).
+            let seed = (k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            assert_eq!(
+                windowed_check(proof.trace.steps(), seed),
+                one_shot,
+                "{} proof {k}: windowed verdict diverged",
+                ex.name()
+            );
+        }
+    }
+    assert_eq!(examples.len(), 24, "suite size changed — update this test");
+    assert!(traces >= examples.len(), "every example has at least one proof");
+}

@@ -276,6 +276,21 @@ def unwrap a := if CAS(a, 1, 0) then () else unwrap a
             Val::Int(0),
         ))
     }
+
+    fn sweep_spec(&self) -> Option<crate::common::SweepSpec> {
+        // Quiescent heap: after one clone and two drops the refcount
+        // cell (ℓ0) is back to 0.
+        use diaframe_heaplang::Loc;
+        self.adequacy_program().map(|(prog, _)| crate::common::SweepSpec {
+            post_desc: "result = 0 ∧ heap = {ℓ0 ↦ 0}".to_owned(),
+            post: Box::new(|v, h| {
+                *v == Val::Int(0) && h.len() == 1 && h.load(Loc::new(0)) == Some(&Val::Int(0))
+            }),
+            prog,
+            sync_model: diaframe_heaplang::monitor::SyncModel::InferAtomics,
+            lock_order: true,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -208,6 +208,18 @@ def wait b := if ~(!b) then () else wait b
             Val::Int(9),
         ))
     }
+
+    fn sweep_spec(&self) -> Option<crate::common::SweepSpec> {
+        // The barrier flag is signalled by a plain store and spun on by
+        // plain loads — an SC atomic in a C11 port, so AllAtomic.
+        self.adequacy_program().map(|(prog, expected)| {
+            crate::common::value_spec(
+                prog,
+                expected,
+                diaframe_heaplang::monitor::SyncModel::AllAtomic,
+            )
+        })
+    }
 }
 
 #[cfg(test)]

@@ -92,6 +92,17 @@ impl Example for BarrierClient {
             Val::Bool(true),
         ))
     }
+
+    fn sweep_spec(&self) -> Option<crate::common::SweepSpec> {
+        // Inherits the barrier's plain-load/store signalling: AllAtomic.
+        self.adequacy_program().map(|(prog, expected)| {
+            crate::common::value_spec(
+                prog,
+                expected,
+                diaframe_heaplang::monitor::SyncModel::AllAtomic,
+            )
+        })
+    }
 }
 
 #[cfg(test)]

@@ -216,6 +216,21 @@ def read c := !c
             Val::Int(2),
         ))
     }
+
+    fn sweep_spec(&self) -> Option<crate::common::SweepSpec> {
+        // Quiescent heap: the single counter cell (ℓ0) holds exactly
+        // the two increments.
+        use diaframe_heaplang::Loc;
+        self.adequacy_program().map(|(prog, _)| crate::common::SweepSpec {
+            post_desc: "result = 2 ∧ heap = {ℓ0 ↦ 2}".to_owned(),
+            post: Box::new(|v, h| {
+                *v == Val::Int(2) && h.len() == 1 && h.load(Loc::new(0)) == Some(&Val::Int(2))
+            }),
+            prog,
+            sync_model: diaframe_heaplang::monitor::SyncModel::InferAtomics,
+            lock_order: true,
+        })
+    }
 }
 
 #[cfg(test)]

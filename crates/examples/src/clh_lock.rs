@@ -337,6 +337,19 @@ impl Example for ClhLock {
             Val::Int(2),
         ))
     }
+
+    fn sweep_spec(&self) -> Option<crate::common::SweepSpec> {
+        // The tail swap is a CAS, but each queue node is spun on by
+        // plain loads and released by a plain store across threads — SC
+        // atomics in a C11 port, so AllAtomic.
+        self.adequacy_program().map(|(prog, expected)| {
+            crate::common::value_spec(
+                prog,
+                expected,
+                diaframe_heaplang::monitor::SyncModel::AllAtomic,
+            )
+        })
+    }
 }
 
 #[cfg(test)]

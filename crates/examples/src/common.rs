@@ -3,8 +3,9 @@
 use diaframe_core::{Spec, SpecTable, Stuck, VerifiedProof, VerifyOptions};
 use diaframe_core::ctx::ProofCtx;
 use diaframe_ghost::Registry;
+use diaframe_heaplang::monitor::SyncModel;
 use diaframe_heaplang::parser::{parse_program, Def};
-use diaframe_heaplang::{Expr, Val};
+use diaframe_heaplang::{Expr, Heap, Val};
 use diaframe_logic::{Assertion, Atom, Binder, Namespace, PredId, PredTable};
 use diaframe_term::{PureProp, Qp, Sort, Subst, Term, VarId};
 use std::collections::BTreeSet;
@@ -142,6 +143,60 @@ pub trait Example: Sync + Send {
     fn adequacy_program(&self) -> Option<(Expr, Val)> {
         None
     }
+
+    /// The example's registration with the schedule-sweep adequacy
+    /// harness ([`diaframe_heaplang::sweep`]): the client program, an
+    /// executable postcondition on the final value and quiescent heap,
+    /// and the race detector's atomicity model.
+    ///
+    /// The default derives everything from [`Example::adequacy_program`]:
+    /// the postcondition is "main returns the expected value" and plain
+    /// accesses are checked for races with CAS/FAA-targeted locations
+    /// inferred as SC atomics ([`SyncModel::InferAtomics`]). Examples
+    /// whose synchronization is *implemented with* plain loads and
+    /// stores (Peterson, barriers, ticket/CLH/MCS locks) override the
+    /// model to [`SyncModel::AllAtomic`]; examples with deterministic
+    /// quiescent heaps strengthen the postcondition to inspect cells.
+    fn sweep_spec(&self) -> Option<SweepSpec> {
+        self.adequacy_program()
+            .map(|(prog, expected)| value_spec(prog, expected, SyncModel::InferAtomics))
+    }
+}
+
+/// Builds a [`SweepSpec`] whose postcondition is "main returns
+/// `expected`", under the given atomicity model.
+#[must_use]
+pub fn value_spec(prog: Expr, expected: Val, sync_model: SyncModel) -> SweepSpec {
+    SweepSpec {
+        post_desc: format!("result = {expected}"),
+        post: Box::new(move |v, _| *v == expected),
+        prog,
+        sync_model,
+        lock_order: true,
+    }
+}
+
+/// An executable postcondition on a finished sweep run: final main
+/// value plus the quiescent heap.
+pub type PostPredicate = Box<dyn Fn(&Val, &Heap) -> bool + Send + Sync>;
+
+/// One example's registration with the schedule-sweep adequacy harness
+/// (see [`Example::sweep_spec`]).
+pub struct SweepSpec {
+    /// The closed client program.
+    pub prog: Expr,
+    /// Executable postcondition every terminating run must satisfy.
+    pub post: PostPredicate,
+    /// Human-readable rendering of the postcondition, for reports.
+    pub post_desc: String,
+    /// Atomicity model for the race detector.
+    pub sync_model: SyncModel,
+    /// Whether the lock-order cycle heuristic applies (see
+    /// [`diaframe_heaplang::sweep::SweepConfig::lock_order`]). Off only
+    /// for protocols that transfer lock ownership logically between
+    /// threads (the duolock's group-held global lock); the sound
+    /// manifest-deadlock detector stays on either way.
+    pub lock_order: bool,
 }
 
 /// Counts the non-empty lines of a source string (the unit of the `impl`

@@ -44,5 +44,10 @@ pub mod spin_lock;
 pub mod ticket_lock;
 pub mod ticket_lock_client;
 
-pub use common::{count_lines, Example, ExampleOutcome, PaperRow, ToolStat, Ws};
+pub mod negative;
+
+pub use common::{
+    count_lines, Example, ExampleOutcome, PaperRow, PostPredicate, SweepSpec, ToolStat, Ws,
+};
+pub use negative::{negative_examples, ExpectedFindings, NegativeExample};
 pub use registry::all_examples;

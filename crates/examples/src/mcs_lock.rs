@@ -135,6 +135,19 @@ impl Example for McsLock {
             Val::Int(2),
         ))
     }
+
+    fn sweep_spec(&self) -> Option<crate::common::SweepSpec> {
+        // As with CLH: the tail swap is a CAS, but hand-off between
+        // queue nodes is by plain cross-thread loads and stores — SC
+        // atomics in a C11 port, so AllAtomic.
+        self.adequacy_program().map(|(prog, expected)| {
+            crate::common::value_spec(
+                prog,
+                expected,
+                diaframe_heaplang::monitor::SyncModel::AllAtomic,
+            )
+        })
+    }
 }
 
 #[cfg(test)]

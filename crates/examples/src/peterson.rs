@@ -263,6 +263,19 @@ impl Example for Peterson {
             Val::Int(2),
         ))
     }
+
+    fn sweep_spec(&self) -> Option<crate::common::SweepSpec> {
+        // Peterson synchronizes entirely through plain loads and stores
+        // of the flag and turn cells — a C11 port would declare them SC
+        // atomics, so the race detector runs in AllAtomic mode.
+        self.adequacy_program().map(|(prog, expected)| {
+            crate::common::value_spec(
+                prog,
+                expected,
+                diaframe_heaplang::monitor::SyncModel::AllAtomic,
+            )
+        })
+    }
 }
 
 #[cfg(test)]

@@ -370,6 +370,19 @@ impl Example for RwLockTicketBounded {
             Val::Int(5),
         ))
     }
+
+    fn sweep_spec(&self) -> Option<crate::common::SweepSpec> {
+        // Ticket-style hand-off: readers/writers spin on plain loads of
+        // the owner cell and release with plain stores — SC atomics in
+        // a C11 port, so AllAtomic.
+        self.adequacy_program().map(|(prog, expected)| {
+            crate::common::value_spec(
+                prog,
+                expected,
+                diaframe_heaplang::monitor::SyncModel::AllAtomic,
+            )
+        })
+    }
 }
 
 #[cfg(test)]

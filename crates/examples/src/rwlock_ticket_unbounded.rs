@@ -325,6 +325,18 @@ impl Example for RwLockTicketUnbounded {
             Val::Int(4),
         ))
     }
+
+    fn sweep_spec(&self) -> Option<crate::common::SweepSpec> {
+        // Ticket-style hand-off on plain loads/stores of the owner
+        // cell — SC atomics in a C11 port, so AllAtomic.
+        self.adequacy_program().map(|(prog, expected)| {
+            crate::common::value_spec(
+                prog,
+                expected,
+                diaframe_heaplang::monitor::SyncModel::AllAtomic,
+            )
+        })
+    }
 }
 
 #[cfg(test)]

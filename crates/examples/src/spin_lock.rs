@@ -306,6 +306,24 @@ def release l := l <- false
             Val::Int(2),
         ))
     }
+
+    fn sweep_spec(&self) -> Option<crate::common::SweepSpec> {
+        // The quiescent heap is deterministic: the lock (ℓ0) is
+        // released and the counter (ℓ1) holds both increments.
+        use diaframe_heaplang::Loc;
+        self.adequacy_program().map(|(prog, _)| crate::common::SweepSpec {
+            post_desc: "result = 2 ∧ heap = {ℓ0 ↦ false, ℓ1 ↦ 2}".to_owned(),
+            post: Box::new(|v, h| {
+                *v == Val::Int(2)
+                    && h.len() == 2
+                    && h.load(Loc::new(0)) == Some(&Val::Bool(false))
+                    && h.load(Loc::new(1)) == Some(&Val::Int(2))
+            }),
+            prog,
+            sync_model: diaframe_heaplang::monitor::SyncModel::InferAtomics,
+            lock_order: true,
+        })
+    }
 }
 
 #[cfg(test)]

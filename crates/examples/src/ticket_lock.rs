@@ -479,6 +479,30 @@ def release lk := fst lk <- !(fst lk) + 1
             Val::Int(2),
         ))
     }
+
+    fn sweep_spec(&self) -> Option<crate::common::SweepSpec> {
+        // The owner cell is spun on with plain loads and bumped by a
+        // plain store (AllAtomic), and the quiescent heap is
+        // deterministic: at least two tickets were served (the spin
+        // loop re-acquires, so owner = next ≥ 2) and the counter holds
+        // both increments. All three cells are integers with
+        // owner = next.
+        use diaframe_heaplang::Loc;
+        self.adequacy_program().map(|(prog, _)| crate::common::SweepSpec {
+            post_desc: "result = 2 ∧ owner = next ∧ counter = 2".to_owned(),
+            post: Box::new(|v, h| {
+                // make () allocates the owner/next pair (ℓ0, ℓ1), the
+                // client then allocates the counter (ℓ2).
+                *v == Val::Int(2)
+                    && h.len() == 3
+                    && h.load(Loc::new(0)) == h.load(Loc::new(1))
+                    && h.load(Loc::new(2)) == Some(&Val::Int(2))
+            }),
+            prog,
+            sync_model: diaframe_heaplang::monitor::SyncModel::AllAtomic,
+            lock_order: true,
+        })
+    }
 }
 
 #[cfg(test)]

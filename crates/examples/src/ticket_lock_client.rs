@@ -80,6 +80,18 @@ impl Example for TicketLockClient {
             Val::Int(7),
         ))
     }
+
+    fn sweep_spec(&self) -> Option<crate::common::SweepSpec> {
+        // Inherits the ticket lock's plain-load owner spin and
+        // plain-store release: AllAtomic.
+        self.adequacy_program().map(|(prog, expected)| {
+            crate::common::value_spec(
+                prog,
+                expected,
+                diaframe_heaplang::monitor::SyncModel::AllAtomic,
+            )
+        })
+    }
 }
 
 #[cfg(test)]

@@ -8,9 +8,19 @@
 use crate::expr::Expr;
 use crate::heap::Heap;
 use crate::scheduler::{RandomSched, RoundRobin, Scheduler};
-use crate::step::{thread_step, StuckError};
+use crate::step::{thread_step, MemEffect, StuckError};
 use crate::value::Val;
 use std::fmt;
+
+/// What one observed thread step did, as reported by
+/// [`Machine::step_thread_traced`] for the sweep detectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepInfo {
+    /// The memory effect of the head step, if it touched the heap.
+    pub effect: Option<MemEffect>,
+    /// Index of the newly forked thread, if the step was a `fork`.
+    pub forked: Option<usize>,
+}
 
 /// Why a run ended unsuccessfully.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,21 +97,51 @@ impl Machine {
             .collect()
     }
 
+    /// The value of thread `i`, if it has finished.
+    #[must_use]
+    pub fn thread_value(&self, i: usize) -> Option<&Val> {
+        self.threads.get(i).and_then(Expr::as_val)
+    }
+
+    /// The main thread's value, if it has finished.
+    #[must_use]
+    pub fn main_value(&self) -> Option<&Val> {
+        self.thread_value(0)
+    }
+
     /// Steps the given thread once.
     ///
     /// # Errors
     ///
     /// Returns the stuck error if the thread has undefined behaviour.
     pub fn step_thread(&mut self, i: usize) -> Result<(), RunError> {
+        self.step_thread_traced(i).map(|_| ())
+    }
+
+    /// Steps the given thread once and reports what the step did — the
+    /// observation hook the [`crate::sweep`] detectors are threaded
+    /// through.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stuck error if the thread has undefined behaviour.
+    pub fn step_thread_traced(&mut self, i: usize) -> Result<StepInfo, RunError> {
         match thread_step(&self.threads[i], &mut self.heap) {
-            Ok(None) => Ok(()),
+            Ok(None) => Ok(StepInfo {
+                effect: None,
+                forked: None,
+            }),
             Ok(Some(res)) => {
                 self.threads[i] = res.expr;
-                if let Some(child) = res.forked {
+                let forked = res.forked.map(|child| {
                     self.threads.push(child);
-                }
+                    self.threads.len() - 1
+                });
                 self.steps_taken += 1;
-                Ok(())
+                Ok(StepInfo {
+                    effect: res.effect,
+                    forked,
+                })
             }
             Err(error) => Err(RunError::Stuck { thread: i, error }),
         }

@@ -12,7 +12,11 @@
 //!   between the interpreter and the prover's symbolic execution;
 //! * the **small-step operational semantics** ([`step`]) and a thread-pool
 //!   **interpreter** ([`interp`]) with pluggable schedulers ([`scheduler`]),
-//!   used for the executable adequacy checks of the test suite.
+//!   used for the executable adequacy checks of the test suite;
+//! * a **schedule-sweep adequacy harness** ([`sweep`]) that runs client
+//!   programs under seeded random interleavings plus a preemption-bounded
+//!   DFS, with lock-order/deadlock and vector-clock data-race detectors
+//!   ([`monitor`]) threaded through every step.
 //!
 //! # Example
 //!
@@ -29,10 +33,12 @@ pub mod ectx;
 pub mod expr;
 pub mod heap;
 pub mod interp;
+pub mod monitor;
 pub mod parser;
 pub mod pretty;
 pub mod scheduler;
 pub mod step;
+pub mod sweep;
 pub mod value;
 
 pub use expr::{BinOp, Expr, UnOp};

@@ -1,0 +1,722 @@
+//! Execution monitors for the schedule sweep.
+//!
+//! Three detectors observe a run through the [`crate::step::MemEffect`]
+//! stream surfaced by [`crate::interp::Machine::step_thread_traced`]:
+//!
+//! 1. **Lock-order graph** ([`LockMonitor`]): HeapLang has no lock
+//!    primitive, so the monitor keys on the universal spin-lock shapes —
+//!    `CAS(l, false, true)` acquires `l`, the owner's `l <- false`
+//!    releases it. An edge `A → B` is recorded whenever a thread holding
+//!    `A` acquires (or merely *attempts* to acquire) `B`; a cycle in the
+//!    graph is a potential deadlock, reported with the witnessing edge
+//!    list.
+//! 2. **Stuck-state detector** ([`LockMonitor::check_stuck`]): spin
+//!    locks never block in the transition system, so a deadlocked
+//!    machine spins forever rather than getting stuck. The monitor
+//!    tracks which lock each thread is spinning on and reports a
+//!    *manifest* deadlock when every runnable thread has been waiting on
+//!    a currently-held lock for a persistence window of consecutive
+//!    steps.
+//! 3. **Vector-clock race detector** ([`detect_races`]): a FastTrack-
+//!    style happens-before pass over the recorded [`Event`] log.
+//!    Classification of locations into SC atomics vs plain data needs
+//!    the whole run (see [`SyncModel`]), so the pass is post-hoc.
+//!
+//! All reports are deterministic functions of the event stream, which
+//! keeps the sweep's JSON report byte-reproducible.
+
+use crate::heap::{Heap, Loc};
+use crate::step::MemEffect;
+use crate::value::Val;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How plain loads and stores synchronize, for the race detector.
+///
+/// HeapLang's interleaving semantics makes every heap access atomic, so
+/// "data race" is a statement of *intent*: which accesses stand for
+/// C11-style non-atomic operations and which for SC atomics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncModel {
+    /// Locations ever targeted by `CAS`/`FAA` are SC atomics — every
+    /// access to them acquire-releases the location's clock — and all
+    /// other locations are non-atomic data, checked for races. This is
+    /// the right model for lock-based code whose locks are CAS loops.
+    InferAtomics,
+    /// Every location is an SC atomic, making race checking vacuous.
+    /// For algorithms (Peterson, ticket/CLH/MCS locks, signal flags)
+    /// whose synchronization is *implemented with* plain loads and
+    /// stores that a C11 port would declare atomic.
+    AllAtomic,
+}
+
+impl SyncModel {
+    /// Stable lower-case name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SyncModel::InferAtomics => "infer_atomics",
+            SyncModel::AllAtomic => "all_atomic",
+        }
+    }
+}
+
+/// The read/write classification of a recorded access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Allocation — the initializing write.
+    Alloc,
+    /// A plain load.
+    Load,
+    /// A plain store.
+    Store,
+    /// An atomic read-modify-write (`CAS` taken or failed, or `FAA`).
+    Rmw,
+}
+
+impl AccessKind {
+    fn is_write(self) -> bool {
+        matches!(self, AccessKind::Alloc | AccessKind::Store)
+    }
+
+    /// Stable lower-case name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessKind::Alloc => "alloc",
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+            AccessKind::Rmw => "rmw",
+        }
+    }
+}
+
+/// One recorded event of a monitored run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Thread `parent` forked `child` (a happens-before edge).
+    Fork {
+        /// The forking thread.
+        parent: usize,
+        /// The new thread's index.
+        child: usize,
+    },
+    /// A heap access.
+    Access {
+        /// The accessing thread.
+        thread: usize,
+        /// The location touched.
+        loc: Loc,
+        /// Read/write classification.
+        kind: AccessKind,
+    },
+}
+
+impl Event {
+    /// Converts a step observation into an event.
+    #[must_use]
+    pub fn from_effect(thread: usize, effect: &MemEffect) -> Event {
+        let kind = match effect {
+            MemEffect::Alloc { .. } => AccessKind::Alloc,
+            MemEffect::Load { .. } => AccessKind::Load,
+            MemEffect::Store { .. } => AccessKind::Store,
+            MemEffect::CasOk { .. } | MemEffect::CasFail { .. } | MemEffect::Faa { .. } => {
+                AccessKind::Rmw
+            }
+        };
+        Event::Access {
+            thread,
+            loc: effect.loc(),
+            kind,
+        }
+    }
+}
+
+/// One side of a racing pair: which thread did what, and where in the
+/// event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSite {
+    /// The accessing thread.
+    pub thread: usize,
+    /// Read/write classification.
+    pub kind: AccessKind,
+    /// Index of the access in the run's event log.
+    pub event_index: usize,
+}
+
+/// A racing access pair on a non-atomic location: two accesses, at
+/// least one a write, unordered by happens-before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The location both accesses touched.
+    pub loc: Loc,
+    /// The earlier access in the observed interleaving.
+    pub first: AccessSite,
+    /// The later, conflicting access.
+    pub second: AccessSite,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "data race on {}: thread {} {} (event {}) unordered with thread {} {} (event {})",
+            self.loc,
+            self.first.thread,
+            self.first.kind.name(),
+            self.first.event_index,
+            self.second.thread,
+            self.second.kind.name(),
+            self.second.event_index,
+        )
+    }
+}
+
+/// A vector clock, indexed by thread id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, t: usize, v: u64) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    fn bump(&mut self, t: usize) {
+        let v = self.get(t);
+        self.set(t, v + 1);
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, v) in other.0.iter().enumerate() {
+            if self.0[i] < *v {
+                self.0[i] = *v;
+            }
+        }
+    }
+}
+
+/// Per-location state of the race pass for a plain-data location.
+#[derive(Debug, Clone, Default)]
+struct DataState {
+    /// Last write: (thread, epoch, site).
+    last_write: Option<(usize, u64, AccessSite)>,
+    /// Reads since the last write: thread → (epoch, site).
+    reads: BTreeMap<usize, (u64, AccessSite)>,
+}
+
+/// Runs the happens-before pass over a recorded event log and returns
+/// the first racing pair, if any.
+///
+/// Under [`SyncModel::InferAtomics`] the pass first classifies every
+/// location ever targeted by an RMW as a sync location; accesses to
+/// sync locations transfer happens-before like SC atomics (the accessor
+/// joins the location's clock and publishes its own), while accesses to
+/// plain locations are checked FastTrack-style against the last write
+/// and the reads since. Under [`SyncModel::AllAtomic`] every location
+/// is sync and the result is always `None`.
+#[must_use]
+pub fn detect_races(events: &[Event], model: SyncModel) -> Option<RaceReport> {
+    if model == SyncModel::AllAtomic {
+        return None;
+    }
+    let mut sync_locs: BTreeSet<Loc> = BTreeSet::new();
+    for ev in events {
+        if let Event::Access { loc, kind: AccessKind::Rmw, .. } = ev {
+            sync_locs.insert(*loc);
+        }
+    }
+
+    let mut clocks: Vec<VClock> = vec![{
+        let mut c = VClock::default();
+        c.set(0, 1);
+        c
+    }];
+    let mut sync_clock: BTreeMap<Loc, VClock> = BTreeMap::new();
+    let mut data: BTreeMap<Loc, DataState> = BTreeMap::new();
+
+    for (idx, ev) in events.iter().enumerate() {
+        match *ev {
+            Event::Fork { parent, child } => {
+                let mut c = clocks.get(parent).cloned().unwrap_or_default();
+                c.set(child, 1);
+                if clocks.len() <= child {
+                    clocks.resize(child + 1, VClock::default());
+                }
+                clocks[child] = c;
+                if clocks.len() <= parent {
+                    clocks.resize(parent + 1, VClock::default());
+                }
+                clocks[parent].bump(parent);
+            }
+            Event::Access { thread, loc, kind } => {
+                if clocks.len() <= thread {
+                    clocks.resize(thread + 1, VClock::default());
+                }
+                if clocks[thread].get(thread) == 0 {
+                    clocks[thread].set(thread, 1);
+                }
+                if sync_locs.contains(&loc) {
+                    if let Some(lc) = sync_clock.get(&loc) {
+                        clocks[thread].join(lc);
+                    }
+                    clocks[thread].bump(thread);
+                    sync_clock.insert(loc, clocks[thread].clone());
+                    continue;
+                }
+                let site = AccessSite {
+                    thread,
+                    kind,
+                    event_index: idx,
+                };
+                let epoch = clocks[thread].get(thread);
+                let state = data.entry(loc).or_default();
+                if kind != AccessKind::Alloc {
+                    if let Some((wt, we, wsite)) = state.last_write {
+                        if wt != thread && we > clocks[thread].get(wt) {
+                            return Some(RaceReport {
+                                loc,
+                                first: wsite,
+                                second: site,
+                            });
+                        }
+                    }
+                }
+                if kind.is_write() {
+                    for (&rt, &(re, rsite)) in &state.reads {
+                        if rt != thread && re > clocks[thread].get(rt) {
+                            return Some(RaceReport {
+                                loc,
+                                first: rsite,
+                                second: site,
+                            });
+                        }
+                    }
+                    state.last_write = Some((thread, epoch, site));
+                    state.reads.clear();
+                } else {
+                    state.reads.insert(thread, (epoch, site));
+                }
+                clocks[thread].bump(thread);
+            }
+        }
+    }
+    None
+}
+
+/// A witnessed lock-order edge `from → to`: some thread attempted or
+/// completed acquiring `to` while holding `from`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeWitness {
+    /// The thread that created the edge.
+    pub thread: usize,
+    /// The machine step count when the edge was first recorded.
+    pub step: u64,
+}
+
+/// A cycle in the lock-order graph: the witnessing edge list, in order
+/// around the cycle (`edges[i].1 == edges[i + 1].0`, wrapping).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleReport {
+    /// The edges forming the cycle, each with its witness.
+    pub edges: Vec<(Loc, Loc, EdgeWitness)>,
+}
+
+impl fmt::Display for CycleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lock-order cycle:")?;
+        for (from, to, w) in &self.edges {
+            write!(f, " {from}→{to} (thread {} @ step {})", w.thread, w.step)?;
+        }
+        Ok(())
+    }
+}
+
+/// One blocked thread in a stuck-state report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitEntry {
+    /// The spinning thread.
+    pub thread: usize,
+    /// The lock it is spinning on.
+    pub lock: Loc,
+    /// The thread that holds the lock.
+    pub owner: usize,
+}
+
+/// A manifest deadlock: the set of runnable threads, every one spinning
+/// on a lock held by some thread (possibly itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckReport {
+    /// All runnable threads with the locks they wait on.
+    pub waiting: Vec<WaitEntry>,
+}
+
+impl fmt::Display for StuckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "all runnable threads blocked:")?;
+        for w in &self.waiting {
+            write!(
+                f,
+                " thread {} waits on {} held by thread {};",
+                w.thread, w.lock, w.owner
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Number of consecutive all-blocked observations required before
+/// [`LockMonitor::check_stuck`] reports a deadlock. The window washes
+/// out transient states where a spinner's `waiting` flag is stale
+/// (e.g. the instant after a release it has not yet observed).
+const STUCK_PERSISTENCE: u32 = 12;
+
+/// Observes lock acquire/release shapes during a run.
+///
+/// Tracks per-thread held locks and per-lock owners, records the
+/// lock-order graph (including failed acquire attempts — attempted
+/// acquisition order is what matters for deadlock potential), and
+/// detects the all-threads-blocked stuck state.
+///
+/// Known limitation: a deliberate trylock that gives up after a failed
+/// CAS can look "waiting" for a few steps; the persistence window and
+/// the held-lock requirement keep this from producing reports in
+/// practice (a thread that moves on clears its flag at its next
+/// successful write, and the report also needs *every* other runnable
+/// thread blocked simultaneously for the whole window).
+#[derive(Debug, Clone, Default)]
+pub struct LockMonitor {
+    /// Locks currently held by each thread, in acquisition order.
+    held: BTreeMap<usize, Vec<Loc>>,
+    /// Current owner of each held lock.
+    owner: BTreeMap<Loc, usize>,
+    /// The lock each thread most recently failed to acquire and has not
+    /// since written anything.
+    waiting: BTreeMap<usize, Loc>,
+    /// Lock-order edges with their first witness.
+    edges: BTreeMap<(Loc, Loc), EdgeWitness>,
+    /// Consecutive all-blocked observations.
+    stuck_streak: u32,
+}
+
+impl LockMonitor {
+    /// A fresh monitor.
+    #[must_use]
+    pub fn new() -> LockMonitor {
+        LockMonitor::default()
+    }
+
+    /// Feeds one observed step of `thread` into the monitor.
+    pub fn observe(&mut self, thread: usize, effect: &MemEffect, step: u64) {
+        match *effect {
+            MemEffect::CasOk { loc, acquire_shape: true } => {
+                self.record_order(thread, loc, step);
+                self.held.entry(thread).or_default().push(loc);
+                self.owner.insert(loc, thread);
+                self.waiting.remove(&thread);
+            }
+            MemEffect::CasFail { loc, acquire_shape: true } => {
+                self.record_order(thread, loc, step);
+                self.waiting.insert(thread, loc);
+            }
+            MemEffect::Store { loc, unlock_shape } => {
+                if unlock_shape && self.owner.get(&loc) == Some(&thread) {
+                    self.owner.remove(&loc);
+                    if let Some(held) = self.held.get_mut(&thread) {
+                        held.retain(|l| *l != loc);
+                    }
+                }
+                self.waiting.remove(&thread);
+            }
+            MemEffect::CasOk { .. } | MemEffect::Faa { .. } | MemEffect::Alloc { .. } => {
+                // Any successful write means the thread made progress.
+                self.waiting.remove(&thread);
+            }
+            MemEffect::Load { .. } | MemEffect::CasFail { acquire_shape: false, .. } => {}
+        }
+    }
+
+    fn record_order(&mut self, thread: usize, acquiring: Loc, step: u64) {
+        if let Some(held) = self.held.get(&thread) {
+            for &h in held {
+                self.edges
+                    .entry((h, acquiring))
+                    .or_insert(EdgeWitness { thread, step });
+            }
+        }
+    }
+
+    /// The recorded lock-order edges, in `(from, to)` order.
+    #[must_use]
+    pub fn order_edges(&self) -> Vec<(Loc, Loc, EdgeWitness)> {
+        self.edges.iter().map(|(&(a, b), &w)| (a, b, w)).collect()
+    }
+
+    /// Searches the lock-order graph for a cycle and reports the first
+    /// one found (deterministically, in edge order).
+    #[must_use]
+    pub fn find_cycle(&self) -> Option<CycleReport> {
+        let mut adj: BTreeMap<Loc, Vec<Loc>> = BTreeMap::new();
+        for &(a, b) in self.edges.keys() {
+            adj.entry(a).or_default().push(b);
+        }
+        // Colors: 0 unvisited, 1 on stack, 2 done.
+        let mut color: BTreeMap<Loc, u8> = BTreeMap::new();
+        let nodes: Vec<Loc> = adj.keys().copied().collect();
+        for &start in &nodes {
+            if color.get(&start).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            let mut path: Vec<Loc> = Vec::new();
+            if let Some(cycle) = self.dfs_cycle(start, &adj, &mut color, &mut path) {
+                return Some(cycle);
+            }
+        }
+        None
+    }
+
+    fn dfs_cycle(
+        &self,
+        node: Loc,
+        adj: &BTreeMap<Loc, Vec<Loc>>,
+        color: &mut BTreeMap<Loc, u8>,
+        path: &mut Vec<Loc>,
+    ) -> Option<CycleReport> {
+        color.insert(node, 1);
+        path.push(node);
+        if let Some(succs) = adj.get(&node) {
+            for &next in succs {
+                match color.get(&next).copied().unwrap_or(0) {
+                    0 => {
+                        if let Some(c) = self.dfs_cycle(next, adj, color, path) {
+                            return Some(c);
+                        }
+                    }
+                    1 => {
+                        // Found a back edge; the cycle is the path suffix
+                        // from `next` plus the closing edge.
+                        let start = path.iter().position(|&l| l == next).expect("on path");
+                        let cycle_nodes: Vec<Loc> = path[start..].to_vec();
+                        let mut edges = Vec::new();
+                        for i in 0..cycle_nodes.len() {
+                            let from = cycle_nodes[i];
+                            let to = cycle_nodes[(i + 1) % cycle_nodes.len()];
+                            let w = self.edges[&(from, to)];
+                            edges.push((from, to, w));
+                        }
+                        return Some(CycleReport { edges });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        path.pop();
+        color.insert(node, 2);
+        None
+    }
+
+    /// Checks for the manifest-deadlock stuck state: every runnable
+    /// thread is spinning on a lock that is currently held. Must be
+    /// called once per machine step with the current runnable set; the
+    /// report fires only after [`STUCK_PERSISTENCE`] consecutive
+    /// blocked observations.
+    pub fn check_stuck(&mut self, runnable: &[usize], heap: &Heap) -> Option<StuckReport> {
+        if runnable.is_empty() {
+            self.stuck_streak = 0;
+            return None;
+        }
+        let mut waiting = Vec::with_capacity(runnable.len());
+        for &t in runnable {
+            let Some(&lock) = self.waiting.get(&t) else {
+                self.stuck_streak = 0;
+                return None;
+            };
+            let Some(&owner) = self.owner.get(&lock) else {
+                self.stuck_streak = 0;
+                return None;
+            };
+            // The lock must really be held right now (value `true`).
+            if heap.load(lock) != Some(&Val::Bool(true)) {
+                self.stuck_streak = 0;
+                return None;
+            }
+            waiting.push(WaitEntry { thread: t, lock, owner });
+        }
+        self.stuck_streak += 1;
+        if self.stuck_streak >= STUCK_PERSISTENCE {
+            Some(StuckReport { waiting })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(thread: usize, loc: u64, kind: AccessKind) -> Event {
+        Event::Access {
+            thread,
+            loc: Loc::new(loc),
+            kind,
+        }
+    }
+
+    #[test]
+    fn unordered_write_write_races() {
+        let events = vec![
+            access(0, 0, AccessKind::Alloc),
+            Event::Fork { parent: 0, child: 1 },
+            access(1, 0, AccessKind::Store),
+            access(0, 0, AccessKind::Store),
+        ];
+        let race = detect_races(&events, SyncModel::InferAtomics).expect("race");
+        assert_eq!(race.loc, Loc::new(0));
+        assert_eq!((race.first.thread, race.second.thread), (1, 0));
+        assert!(detect_races(&events, SyncModel::AllAtomic).is_none());
+    }
+
+    #[test]
+    fn fork_orders_parent_prefix() {
+        // Parent writes, then forks; the child's read is ordered.
+        let events = vec![
+            access(0, 0, AccessKind::Alloc),
+            access(0, 0, AccessKind::Store),
+            Event::Fork { parent: 0, child: 1 },
+            access(1, 0, AccessKind::Load),
+        ];
+        assert!(detect_races(&events, SyncModel::InferAtomics).is_none());
+    }
+
+    #[test]
+    fn rmw_location_transfers_happens_before() {
+        // Child writes data then FAAs a flag; parent sees the FAA'd flag
+        // (spin loop) before reading the data — lock-free join idiom.
+        let events = vec![
+            access(0, 0, AccessKind::Alloc), // data
+            access(0, 1, AccessKind::Alloc), // flag
+            Event::Fork { parent: 0, child: 1 },
+            access(1, 0, AccessKind::Store),
+            access(1, 1, AccessKind::Rmw),
+            access(0, 1, AccessKind::Rmw),
+            access(0, 0, AccessKind::Load),
+        ];
+        assert!(detect_races(&events, SyncModel::InferAtomics).is_none());
+    }
+
+    #[test]
+    fn plain_flag_does_not_synchronize() {
+        // Same shape but the flag is a plain store/load: the data read
+        // races with the child's data write.
+        let events = vec![
+            access(0, 0, AccessKind::Alloc),
+            access(0, 1, AccessKind::Alloc),
+            Event::Fork { parent: 0, child: 1 },
+            access(1, 0, AccessKind::Store),
+            access(1, 1, AccessKind::Store),
+            access(0, 1, AccessKind::Load),
+            access(0, 0, AccessKind::Load),
+        ];
+        let race = detect_races(&events, SyncModel::InferAtomics).expect("race");
+        // First conflict reported is on the flag itself (store vs load).
+        assert_eq!(race.loc, Loc::new(1));
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let events = vec![
+            access(0, 0, AccessKind::Alloc),
+            Event::Fork { parent: 0, child: 1 },
+            access(1, 0, AccessKind::Load),
+            access(0, 0, AccessKind::Load),
+        ];
+        assert!(detect_races(&events, SyncModel::InferAtomics).is_none());
+    }
+
+    fn acquire_ok(loc: u64) -> MemEffect {
+        MemEffect::CasOk {
+            loc: Loc::new(loc),
+            acquire_shape: true,
+        }
+    }
+
+    fn acquire_fail(loc: u64) -> MemEffect {
+        MemEffect::CasFail {
+            loc: Loc::new(loc),
+            acquire_shape: true,
+        }
+    }
+
+    fn release(loc: u64) -> MemEffect {
+        MemEffect::Store {
+            loc: Loc::new(loc),
+            unlock_shape: true,
+        }
+    }
+
+    #[test]
+    fn nested_acquire_records_edge_and_inversion_cycles() {
+        let mut m = LockMonitor::new();
+        m.observe(0, &acquire_ok(0), 1);
+        m.observe(0, &acquire_ok(1), 2); // edge 0→1
+        m.observe(0, &release(1), 3);
+        m.observe(0, &release(0), 4);
+        assert_eq!(m.order_edges().len(), 1);
+        assert!(m.find_cycle().is_none());
+        // Opposite nesting on another thread closes the cycle — via a
+        // *failed* attempt, which is enough evidence.
+        m.observe(1, &acquire_ok(1), 5);
+        m.observe(1, &acquire_fail(0), 6); // edge 1→0
+        let cycle = m.find_cycle().expect("cycle");
+        assert_eq!(cycle.edges.len(), 2);
+        let locs: Vec<(Loc, Loc)> = cycle.edges.iter().map(|&(a, b, _)| (a, b)).collect();
+        assert!(locs.contains(&(Loc::new(0), Loc::new(1))));
+        assert!(locs.contains(&(Loc::new(1), Loc::new(0))));
+    }
+
+    #[test]
+    fn self_deadlock_detected_as_stuck() {
+        let mut heap = Heap::new();
+        let l = heap.alloc(Val::Bool(false));
+        let mut m = LockMonitor::new();
+        m.observe(0, &MemEffect::CasOk { loc: l, acquire_shape: true }, 1);
+        heap.store(l, Val::Bool(true));
+        m.observe(0, &MemEffect::CasFail { loc: l, acquire_shape: true }, 2);
+        let mut report = None;
+        for _ in 0..STUCK_PERSISTENCE {
+            report = m.check_stuck(&[0], &heap);
+        }
+        let report = report.expect("stuck");
+        assert_eq!(
+            report.waiting,
+            vec![WaitEntry { thread: 0, lock: l, owner: 0 }]
+        );
+    }
+
+    #[test]
+    fn progress_resets_stuck_streak() {
+        let mut heap = Heap::new();
+        let l = heap.alloc(Val::Bool(true));
+        let mut m = LockMonitor::new();
+        m.observe(1, &MemEffect::CasOk { loc: l, acquire_shape: true }, 1);
+        m.observe(0, &MemEffect::CasFail { loc: l, acquire_shape: true }, 2);
+        for _ in 0..STUCK_PERSISTENCE - 1 {
+            assert!(m.check_stuck(&[0], &heap).is_none());
+        }
+        // The owner releases: thread 0's next observation is unblocked.
+        m.observe(1, &release(l.raw()), 3);
+        heap.store(l, Val::Bool(false));
+        assert!(m.check_stuck(&[0], &heap).is_none());
+        assert_eq!(m.stuck_streak, 0);
+    }
+}

@@ -57,8 +57,25 @@ impl Scheduler for RandomSched {
 }
 
 /// A scheduler that follows a fixed script of choices (indices into the
-/// runnable list), wrapping around at the end. Useful for regression tests
-/// that need one specific interleaving.
+/// runnable list). Useful for regression tests that need one specific
+/// interleaving.
+///
+/// # Contract
+///
+/// Two kinds of wrap-around are deliberate, not silent truncation, and
+/// are pinned by unit tests:
+///
+/// - **Script exhaustion**: after the last entry the script repeats from
+///   the beginning (`script[pos % script.len()]`), so a short script
+///   describes a periodic schedule.
+/// - **Out-of-range entries**: each entry indexes the *current* runnable
+///   list modulo its length (`runnable[choice % runnable.len()]`). The
+///   runnable list shrinks and grows as threads finish and fork, so an
+///   entry written for a wider list degrades to a valid choice instead
+///   of panicking; entry `k` with `n` runnable threads picks
+///   `runnable[k % n]`.
+/// - **Empty script**: always picks `runnable[0]` and never advances
+///   `pos` — equivalent to `Scripted::new(vec![0])`.
 #[derive(Debug)]
 pub struct Scripted {
     script: Vec<usize>,
@@ -67,7 +84,8 @@ pub struct Scripted {
 
 impl Scripted {
     #[must_use]
-    /// A scheduler replaying the exact thread sequence `script`.
+    /// A scheduler replaying the thread sequence `script` under the
+    /// wrap-around contract documented on [`Scripted`].
     pub fn new(script: Vec<usize>) -> Scripted {
         Scripted { script, pos: 0 }
     }
@@ -121,5 +139,42 @@ mod tests {
         assert_eq!(s.pick(&r), 8);
         assert_eq!(s.pick(&r), 7);
         assert_eq!(s.pick(&r), 8);
+    }
+
+    #[test]
+    fn scripted_wraps_out_of_range_entries() {
+        // Entry 5 against 2 runnable threads picks 5 % 2 = 1; entry 4
+        // picks 4 % 2 = 0. Against 3 threads the same entries pick 2
+        // and 1 — the wrap is relative to the current runnable list.
+        let mut s = Scripted::new(vec![5, 4]);
+        let two = [7, 8];
+        assert_eq!(s.pick(&two), 8);
+        assert_eq!(s.pick(&two), 7);
+        let mut s = Scripted::new(vec![5, 4]);
+        let three = [7, 8, 9];
+        assert_eq!(s.pick(&three), 9);
+        assert_eq!(s.pick(&three), 8);
+    }
+
+    #[test]
+    fn scripted_repeats_after_exhaustion() {
+        // A script shorter than the run loops: [1] behaves like an
+        // infinite stream of 1s, not like "1 then default".
+        let mut s = Scripted::new(vec![1]);
+        let r = [7, 8];
+        for _ in 0..5 {
+            assert_eq!(s.pick(&r), 8);
+        }
+    }
+
+    #[test]
+    fn scripted_empty_always_picks_first() {
+        let mut s = Scripted::new(Vec::new());
+        assert_eq!(s.pick(&[7, 8]), 7);
+        assert_eq!(s.pick(&[3]), 3);
+        assert_eq!(s.pick(&[9, 2, 5]), 9);
+        // The position never advances on an empty script, so the state
+        // stays identical across picks.
+        assert_eq!(s.pos, 0);
     }
 }

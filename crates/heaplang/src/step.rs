@@ -2,9 +2,85 @@
 
 use crate::ectx::{decompose, fill_ctx, Decomp};
 use crate::expr::{BinOp, Expr, UnOp};
-use crate::heap::Heap;
+use crate::heap::{Heap, Loc};
 use crate::value::Val;
 use std::fmt;
+
+/// The observable memory effect of one head step.
+///
+/// Surfaced by [`StepResult`] so the schedule-sweep detectors
+/// ([`crate::monitor`]) can watch a run without re-decomposing the
+/// redex: the lock-order monitor keys on the spin-lock shapes
+/// (`CAS(l, false, true)` to acquire, `l <- false` to release) and the
+/// race detector on the read/write/RMW classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEffect {
+    /// `ref v` allocated a fresh location (the initializing write).
+    Alloc {
+        /// The fresh location.
+        loc: Loc,
+    },
+    /// `! l`.
+    Load {
+        /// The location read.
+        loc: Loc,
+    },
+    /// `l <- v`.
+    Store {
+        /// The location written.
+        loc: Loc,
+        /// Whether the stored value was `false` — the spin-lock release
+        /// shape.
+        unlock_shape: bool,
+    },
+    /// A successful `CAS(l, old, new)`.
+    CasOk {
+        /// The location updated.
+        loc: Loc,
+        /// Whether the CAS was `CAS(l, false, true)` — the spin-lock
+        /// acquire shape.
+        acquire_shape: bool,
+    },
+    /// A failed `CAS(l, old, new)` (an atomic read).
+    CasFail {
+        /// The location read.
+        loc: Loc,
+        /// Whether the CAS was `CAS(l, false, true)` — a blocked
+        /// spin-lock acquire attempt.
+        acquire_shape: bool,
+    },
+    /// `FAA(l, k)` (an atomic read-modify-write).
+    Faa {
+        /// The location updated.
+        loc: Loc,
+    },
+}
+
+impl MemEffect {
+    /// The location the effect touched.
+    #[must_use]
+    pub fn loc(&self) -> Loc {
+        match self {
+            MemEffect::Alloc { loc }
+            | MemEffect::Load { loc }
+            | MemEffect::Store { loc, .. }
+            | MemEffect::CasOk { loc, .. }
+            | MemEffect::CasFail { loc, .. }
+            | MemEffect::Faa { loc } => *loc,
+        }
+    }
+
+    /// Whether the effect is an atomic read-modify-write (`CAS`, taken
+    /// or failed, or `FAA`) — the accesses that make a location an
+    /// inferred SC atomic for the race detector.
+    #[must_use]
+    pub fn is_rmw(&self) -> bool {
+        matches!(
+            self,
+            MemEffect::CasOk { .. } | MemEffect::CasFail { .. } | MemEffect::Faa { .. }
+        )
+    }
+}
 
 /// The result of a successful head step.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,11 +89,25 @@ pub struct StepResult {
     pub expr: Expr,
     /// A newly forked thread, if the redex was a `fork`.
     pub forked: Option<Expr>,
+    /// The memory effect, if the redex touched the heap.
+    pub effect: Option<MemEffect>,
 }
 
 impl StepResult {
     fn pure(expr: Expr) -> StepResult {
-        StepResult { expr, forked: None }
+        StepResult {
+            expr,
+            forked: None,
+            effect: None,
+        }
+    }
+
+    fn effectful(expr: Expr, effect: MemEffect) -> StepResult {
+        StepResult {
+            expr,
+            forked: None,
+            effect: Some(effect),
+        }
     }
 }
 
@@ -131,22 +221,34 @@ pub fn head_step(e: &Expr, heap: &mut Heap) -> Result<StepResult, StuckError> {
         Expr::Alloc(a) => match a.as_val() {
             Some(v) => {
                 let l = heap.alloc(v.clone());
-                Ok(StepResult::pure(Expr::Val(Val::Loc(l))))
+                Ok(StepResult::effectful(
+                    Expr::Val(Val::Loc(l)),
+                    MemEffect::Alloc { loc: l },
+                ))
             }
             None => Err(stuck("alloc of non-value")),
         },
         Expr::Load(a) => match a.as_val() {
             Some(Val::Loc(l)) => match heap.load(*l) {
-                Some(v) => Ok(StepResult::pure(Expr::Val(v.clone()))),
+                Some(v) => Ok(StepResult::effectful(
+                    Expr::Val(v.clone()),
+                    MemEffect::Load { loc: *l },
+                )),
                 None => Err(stuck(format!("load from unallocated {l}"))),
             },
             _ => Err(stuck("load from non-location")),
         },
         Expr::Store(l, v) => match (l.as_val(), v.as_val()) {
-            (Some(Val::Loc(l)), Some(v)) => match heap.store(*l, v.clone()) {
-                Some(_) => Ok(StepResult::pure(Expr::unit())),
-                None => Err(stuck(format!("store to unallocated {l}"))),
-            },
+            (Some(Val::Loc(l)), Some(v)) => {
+                let unlock_shape = *v == Val::Bool(false);
+                match heap.store(*l, v.clone()) {
+                    Some(_) => Ok(StepResult::effectful(
+                        Expr::unit(),
+                        MemEffect::Store { loc: *l, unlock_shape },
+                    )),
+                    None => Err(stuck(format!("store to unallocated {l}"))),
+                }
+            }
             _ => Err(stuck("store to non-location")),
         },
         Expr::Cas(l, old, new) => match (l.as_val(), old.as_val(), new.as_val()) {
@@ -158,11 +260,18 @@ pub fn head_step(e: &Expr, heap: &mut Heap) -> Result<StepResult, StuckError> {
                 if !(cur.compare_safe() && old.compare_safe()) {
                     return Err(stuck("CAS on non-comparable values"));
                 }
+                let acquire_shape = *old == Val::Bool(false) && *new == Val::Bool(true);
                 if cur == *old {
                     heap.store(*l, new.clone());
-                    Ok(StepResult::pure(Expr::bool(true)))
+                    Ok(StepResult::effectful(
+                        Expr::bool(true),
+                        MemEffect::CasOk { loc: *l, acquire_shape },
+                    ))
                 } else {
-                    Ok(StepResult::pure(Expr::bool(false)))
+                    Ok(StepResult::effectful(
+                        Expr::bool(false),
+                        MemEffect::CasFail { loc: *l, acquire_shape },
+                    ))
                 }
             }
             _ => Err(stuck("CAS on non-location")),
@@ -176,7 +285,7 @@ pub fn head_step(e: &Expr, heap: &mut Heap) -> Result<StepResult, StuckError> {
                 match cur {
                     Val::Int(n) => {
                         heap.store(*l, Val::Int(n + k));
-                        Ok(StepResult::pure(Expr::int(n)))
+                        Ok(StepResult::effectful(Expr::int(n), MemEffect::Faa { loc: *l }))
                     }
                     other => Err(stuck(format!("FAA on non-integer {other}"))),
                 }
@@ -186,6 +295,7 @@ pub fn head_step(e: &Expr, heap: &mut Heap) -> Result<StepResult, StuckError> {
         Expr::Fork(body) => Ok(StepResult {
             expr: Expr::unit(),
             forked: Some((**body).clone()),
+            effect: None,
         }),
         Expr::Val(_) => Err(stuck("value cannot step")),
         Expr::Var(x) => Err(stuck(format!("free variable {x}"))),
@@ -252,6 +362,7 @@ pub fn thread_step(e: &Expr, heap: &mut Heap) -> Result<Option<StepResult>, Stuc
             Ok(Some(StepResult {
                 expr: fill_ctx(&frames, res.expr),
                 forked: res.forked,
+                effect: res.effect,
             }))
         }
     }
@@ -390,5 +501,40 @@ mod tests {
         let res = thread_step(&e, &mut h).unwrap().unwrap();
         assert_eq!(res.expr, Expr::unit());
         assert_eq!(res.forked, Some(Expr::int(1)));
+        assert_eq!(res.effect, None);
+    }
+
+    #[test]
+    fn mem_effects_classify_heap_ops() {
+        let mut h = Heap::new();
+        let res = thread_step(&Expr::alloc(Expr::bool(false)), &mut h).unwrap().unwrap();
+        let l = match res.effect {
+            Some(MemEffect::Alloc { loc }) => loc,
+            other => panic!("expected alloc effect, got {other:?}"),
+        };
+        let loc = Expr::Val(Val::Loc(l));
+
+        // Lock-shaped CAS: acquire succeeds, retry fails, both flagged as RMW.
+        let acq = Expr::cas(loc.clone(), Expr::bool(false), Expr::bool(true));
+        let res = thread_step(&acq.clone(), &mut h).unwrap().unwrap();
+        assert_eq!(res.effect, Some(MemEffect::CasOk { loc: l, acquire_shape: true }));
+        assert!(res.effect.unwrap().is_rmw());
+        let res = thread_step(&acq, &mut h).unwrap().unwrap();
+        assert_eq!(res.effect, Some(MemEffect::CasFail { loc: l, acquire_shape: true }));
+
+        // Unlock-shaped store vs an ordinary store.
+        let res =
+            thread_step(&Expr::store(loc.clone(), Expr::bool(false)), &mut h).unwrap().unwrap();
+        assert_eq!(res.effect, Some(MemEffect::Store { loc: l, unlock_shape: true }));
+        let res = thread_step(&Expr::store(loc.clone(), Expr::int(7)), &mut h).unwrap().unwrap();
+        assert_eq!(res.effect, Some(MemEffect::Store { loc: l, unlock_shape: false }));
+
+        let res = thread_step(&Expr::load(loc.clone()), &mut h).unwrap().unwrap();
+        assert_eq!(res.effect, Some(MemEffect::Load { loc: l }));
+        assert!(!res.effect.unwrap().is_rmw());
+
+        let res = thread_step(&Expr::faa(loc, Expr::int(1)), &mut h).unwrap().unwrap();
+        assert_eq!(res.effect, Some(MemEffect::Faa { loc: l }));
+        assert_eq!(res.effect.unwrap().loc(), l);
     }
 }
