@@ -8,7 +8,7 @@
 #   4. clippy, warnings-as-errors, across every target
 #   5. a full `figure6 --all` report run, writing the machine-readable
 #      timing snapshot to target/BENCH_figure6.json, followed by the
-#      snapshot-diff perf gate: `figure6 --diff` compares the fresh v6
+#      snapshot-diff perf gate: `figure6 --diff` compares the fresh v7
 #      snapshot against the committed BENCH_figure6.json — per-example
 #      search-time ratios (3x with a 25ms floor), the 2x aggregate
 #      bound, and 1.5x drift gates on every *deterministic* search
@@ -21,7 +21,7 @@
 #      ("profile identity ok"); the profiling-on/off trace- and
 #      table-equivalence test and the sink-ordering test must hold
 #   7. the telemetry smoke gate: the same run with a file sink attached
-#      must produce a v6 snapshot with non-zero counters (including the
+#      must produce a v7 snapshot with non-zero counters (including the
 #      term-interner hit/miss counters, the incremental pure-solver
 #      counters, and the per-span-kind duration histograms), the
 #      telemetry-on/off trace-equivalence test must hold, and
@@ -52,10 +52,21 @@
 #      example must be flagged with its expected categories, and the
 #      JSON snapshot must be byte-identical across worker counts and
 #      against the committed BENCH_adequacy.json
+#  12. the verification-service gate: `figure6 --store` must pass its
+#      built-in warm-vs-cold gate (warm pass answered entirely by
+#      checker-replayed store hits, byte-identical verdict table, warm
+#      wall <= 0.5x cold) with the v7 snapshot carrying the `store`
+#      block; then the `diaframe serve` daemon itself is started over a
+#      Unix socket, the full suite is requested twice across a daemon
+#      restart sharing one store directory, the second run must answer
+#      >=95% of the suite from store hits with a byte-identical verdict
+#      table, and `shutdown` must terminate the daemon cleanly
 #
 # The committed BENCH_figure6.json and BENCH_adequacy.json are reference
 # snapshots; regenerate them with
-#   cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out BENCH_figure6.json
+#   rm -rf target/proof_store && \
+#   cargo run --release -p diaframe-bench --bin figure6 -- --all \
+#     --store target/proof_store --json-out BENCH_figure6.json
 #   cargo run --release -p diaframe-bench --bin adequacy -- --json-out BENCH_adequacy.json
 # (see EXPERIMENTS.md "Performance" / "Adequacy sweep" for how to compare runs).
 set -euo pipefail
@@ -69,7 +80,7 @@ cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out target/B
 
 # --- snapshot-diff perf gate (see EXPERIMENTS.md "Performance") ----------
 # `figure6 --diff` replaces the old awk aggregate/max gates: it compares
-# the fresh v6 snapshot against the committed baseline and gates on
+# the fresh v7 snapshot against the committed baseline and gates on
 # per-example search-time ratios (3x with a 25ms noise floor), the 2x
 # aggregate bound, and 1.5x drift on every *deterministic* search
 # counter (probes, backtracks, checker steps, per-kind step counts) —
@@ -100,7 +111,7 @@ grep -q 'span events across .* lanes, validated' target/profile_smoke.log
 grep -q 'profile hotspots' target/profile_smoke.log
 test -s target/profile_folded.txt
 # Profiling on vs off must be byte-identical in every trace and table,
-# and the v6 sink ordering must be deterministic across --jobs 4 runs.
+# and the sink ordering must be deterministic across --jobs 4 runs.
 cargo test --release -p diaframe-bench --test profile_identity -q
 cargo test --release -p diaframe-bench --test telemetry_sink -q
 
@@ -110,8 +121,12 @@ cargo test --release -p diaframe-bench --test telemetry_sink -q
 rm -f target/telemetry.jsonl
 DIAFRAME_TELEMETRY=target/telemetry.jsonl \
   cargo run --release -p diaframe-bench --bin figure6 -- --all --json-out target/BENCH_figure6_telemetry.json > /dev/null
-grep -q '"schema": "diaframe-bench/figure6/v6"' target/BENCH_figure6_telemetry.json
+grep -q '"schema": "diaframe-bench/figure6/v7"' target/BENCH_figure6_telemetry.json
 grep -q '"telemetry": { "probes_attempted": [1-9]' target/BENCH_figure6_telemetry.json
+# v7: the persistent-proof-store counters ride along in every telemetry
+# block (zero on a storeless run, but the keys must be present).
+grep -q '"store_hits": [0-9]' target/BENCH_figure6_telemetry.json
+grep -q '"store_replay_ms": [0-9]' target/BENCH_figure6_telemetry.json
 # v6: the per-span-kind duration histograms (p50/p95/max) ride along in
 # the snapshot, per example and in aggregate.
 grep -q '"spans": { ' target/BENCH_figure6_telemetry.json
@@ -159,7 +174,7 @@ test "$(grep -c '"search_ms"' target/BENCH_figure6_serial.json)" -eq \
 cargo test --release -p diaframe-bench --test speculation_identity -q
 # A `--jobs 4` run must actually engage speculation (the pool drains and
 # tail stragglers inherit freed budget units) and resolve every spawn,
-# with the spec counters landing in the v6 snapshot.
+# with the spec counters landing in the v7 snapshot.
 cargo run --release -p diaframe-bench --bin figure6 -- --all --jobs 4 \
   --json-out target/BENCH_figure6_jobs4.json > /dev/null
 grep -q '"spec_spawned": [1-9]' target/BENCH_figure6_jobs4.json
@@ -222,5 +237,53 @@ cargo run --release -p diaframe-bench --bin adequacy -- \
   --jobs 2 --json-out target/BENCH_adequacy2.json > /dev/null
 cmp target/BENCH_adequacy.json target/BENCH_adequacy2.json
 cmp BENCH_adequacy.json target/BENCH_adequacy.json
+
+# --- verification-service gate (see README "Verification service") -------
+# Warm-vs-cold through figure6: the suite is prefetched twice against a
+# fresh persistent store. The binary's built-in gate exits non-zero
+# unless the warm pass is answered entirely by checker-replayed store
+# hits, renders a byte-identical verdict table, and finishes in at most
+# half the cold wall; the v7 snapshot must carry the `store` block with
+# both passes' counters.
+rm -rf target/proof_store
+cargo run --release -p diaframe-bench --bin figure6 -- --all \
+  --store target/proof_store --json-out target/BENCH_figure6_store.json \
+  > target/store_gate.log
+grep -q 'store gate: PASS' target/store_gate.log
+grep -q '"schema": "diaframe-bench/figure6/v7"' target/BENCH_figure6_store.json
+grep -q '"store": { "cold_wall_ms"' target/BENCH_figure6_store.json
+grep -q '"warm": { "hits": [1-9]' target/BENCH_figure6_store.json
+grep -q '"cold": { "hits": 0, "misses": [1-9]' target/BENCH_figure6_store.json
+# The daemon itself: a cold `diaframe serve` populates a store over a
+# Unix socket; after a shutdown (which must terminate the process) a
+# restarted daemon over the same store must answer >=95% of the full
+# suite from store hits with a byte-identical verdict table.
+rm -rf target/proof_store_daemon
+rm -f target/diaframe.sock
+target/release/diaframe serve --socket target/diaframe.sock \
+  --store target/proof_store_daemon > target/daemon_cold.log &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do [ -S target/diaframe.sock ] && break; sleep 0.1; done
+target/release/diaframe client --socket target/diaframe.sock \
+  verify-all --table-out target/daemon_table_cold.txt
+target/release/diaframe client --socket target/diaframe.sock shutdown > /dev/null
+wait "$DAEMON_PID"   # `shutdown` must actually stop the daemon
+target/release/diaframe serve --socket target/diaframe.sock \
+  --store target/proof_store_daemon > target/daemon_warm.log &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do [ -S target/diaframe.sock ] && break; sleep 0.1; done
+target/release/diaframe client --socket target/diaframe.sock \
+  verify-all --table-out target/daemon_table_warm.txt
+cmp target/daemon_table_cold.txt target/daemon_table_warm.txt
+target/release/diaframe client --socket target/diaframe.sock stats \
+  > target/daemon_stats.json
+# The store counters use ": "-separated keys (the cache block does not),
+# so these extract the *store* hit/miss ledger of the warm daemon.
+store_hits=$(sed -n 's/.*"counters": { "hits": \([0-9]*\).*/\1/p' target/daemon_stats.json)
+store_misses=$(sed -n 's/.*"counters": { "hits": [0-9]*, "misses": \([0-9]*\).*/\1/p' target/daemon_stats.json)
+test -n "$store_hits" && test -n "$store_misses"
+test "$((store_hits * 100))" -ge "$((95 * (store_hits + store_misses)))"
+target/release/diaframe client --socket target/diaframe.sock shutdown > /dev/null
+wait "$DAEMON_PID"
 
 echo "ci: all gates passed"

@@ -1,0 +1,131 @@
+//! The `diaframe` verification service CLI: a long-lived daemon with a
+//! persistent content-addressed proof cache, and its thin client.
+//!
+//! ```text
+//! diaframe serve  (--listen ADDR | --socket PATH)
+//!                 [--store DIR] [--budget BYTES] [--jobs N]
+//! diaframe client (--connect ADDR | --socket PATH)
+//!                 verify NAME...            # batch-verify named examples
+//!                 verify-all [--table-out PATH]
+//!                 stats
+//!                 shutdown
+//! ```
+//!
+//! The daemon answers `verify` requests from the persistent store when
+//! it can (replaying stored traces through the independent checker) and
+//! falls back to a full parallel search otherwise; see
+//! [`diaframe_bench::server`] for the protocol and
+//! [`diaframe_bench::store`] for the cache's trust model.
+//! `verify-all --table-out` writes the deterministic verdict table,
+//! which CI byte-compares across a cold and a warm run.
+
+use diaframe_bench::server::{serve, Client, Endpoint, ServerConfig};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  diaframe serve  (--listen ADDR | --socket PATH) [--store DIR] [--budget BYTES] [--jobs N]\n  diaframe client (--connect ADDR | --socket PATH) (verify NAME... | verify-all [--table-out PATH] | stats | shutdown)"
+    );
+    std::process::exit(2);
+}
+
+fn endpoint(args: &[String], tcp_flag: &str) -> Endpoint {
+    let opt = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    match (opt(tcp_flag), opt("--socket")) {
+        (Some(addr), None) => Endpoint::Tcp(addr.clone()),
+        (None, Some(path)) => Endpoint::Unix(PathBuf::from(path)),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            let config = ServerConfig {
+                store_dir: opt("--store").map(PathBuf::from),
+                budget: opt("--budget").map(|v| {
+                    v.parse()
+                        .unwrap_or_else(|_| panic!("--budget: bad byte count {v:?}"))
+                }),
+                jobs: opt("--jobs")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(diaframe_core::default_jobs),
+            };
+            let ep = endpoint(&args, "--listen");
+            if let Err(e) = serve(&ep, &config) {
+                eprintln!("diaframe serve: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("client") => {
+            let ep = endpoint(&args, "--connect");
+            // The verb is the first non-flag argument after "client".
+            let mut i = 1;
+            let verb = loop {
+                match args.get(i).map(String::as_str) {
+                    Some("--connect" | "--socket" | "--table-out") => i += 2,
+                    Some(v) => break v,
+                    None => usage(),
+                }
+            };
+            let request = match verb {
+                "verify" => {
+                    let names: Vec<String> = args[i + 1..]
+                        .iter()
+                        .take_while(|a| !a.starts_with("--"))
+                        .map(|n| format!("\"{n}\""))
+                        .collect();
+                    if names.is_empty() {
+                        usage();
+                    }
+                    format!("{{\"op\":\"verify\",\"examples\":[{}]}}", names.join(","))
+                }
+                "verify-all" => String::from("{\"op\":\"verify_all\"}"),
+                "stats" => String::from("{\"op\":\"stats\"}"),
+                "shutdown" => String::from("{\"op\":\"shutdown\"}"),
+                _ => usage(),
+            };
+            let mut client = Client::connect(&ep).unwrap_or_else(|e| {
+                eprintln!("diaframe client: cannot connect: {e}");
+                std::process::exit(1);
+            });
+            let response = client.call(&request).unwrap_or_else(|e| {
+                eprintln!("diaframe client: {e}");
+                std::process::exit(1);
+            });
+            let parsed = diaframe_core::trace_json::parse_json_value(&response)
+                .unwrap_or_else(|e| panic!("malformed response: {e}\n{response}"));
+            let ok = parsed
+                .get("ok")
+                .and_then(diaframe_core::trace_json::JsonValue::as_bool)
+                .unwrap_or(false);
+            if let Some(path) = opt("--table-out") {
+                let table = parsed
+                    .get("table")
+                    .and_then(diaframe_core::trace_json::JsonValue::as_str)
+                    .unwrap_or_else(|| {
+                        eprintln!("diaframe client: response carries no table\n{response}");
+                        std::process::exit(1);
+                    });
+                std::fs::write(path, table).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                println!("[verdict table written to {path}]");
+            } else {
+                println!("{response}");
+            }
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -5,7 +5,7 @@
 //! cargo run -p diaframe-bench --bin figure6 -- \
 //!     [--aggregate] [--failing] [--ablation] [--all] \
 //!     [--jobs N] [--json] [--json-out PATH] [--explain EXAMPLE] \
-//!     [--jobs-sweep 1,2,4,8] [--sweep-out PATH] \
+//!     [--store DIR] [--jobs-sweep 1,2,4,8] [--sweep-out PATH] \
 //!     [--profile-out PATH] [--folded-out PATH] [--hotspots N] \
 //!     [--diff BASELINE.json] [--diff-current CURRENT.json] \
 //!     [--diff-ratio X] [--diff-aggregate-ratio X] [--diff-min-ms X] \
@@ -16,9 +16,16 @@
 //! `DIAFRAME_JOBS` or the core count), into a shared cache; every
 //! requested table is then rendered from that cache without re-running
 //! anything. `--json` prints the machine-readable timing + telemetry
-//! snapshot (schema `diaframe-bench/figure6/v6`) instead of tables;
+//! snapshot (schema `diaframe-bench/figure6/v7`) instead of tables;
 //! `--json-out` writes it to a file alongside the tables — the committed
-//! `BENCH_figure6.json` is produced that way. `--explain EXAMPLE` skips
+//! `BENCH_figure6.json` is produced that way. `--store DIR` runs the
+//! warm-vs-cold proof-store experiment: the suite is prefetched twice
+//! against a persistent content-addressed store rooted at DIR (cold
+//! pass searches and populates; warm pass must be answered entirely by
+//! checker-replayed store hits, render a byte-identical verdict table,
+//! and finish in at most half the cold wall — the run exits non-zero
+//! otherwise), and the snapshot gains a `store` block recording both
+//! passes. `--explain EXAMPLE` skips
 //! the suite and instead runs EXAMPLE's sabotaged variant under a
 //! telemetry session, printing the structured stuck report
 //! (`Stuck::render_explain`): the unmatched goal head, the hypotheses
@@ -40,7 +47,7 @@
 //! rollups are cross-checked against the flat telemetry counters — the
 //! run aborts if the two instrumentation paths disagree.
 //!
-//! Snapshot diffing: `--diff BASELINE.json` compares this run's v6
+//! Snapshot diffing: `--diff BASELINE.json` compares this run's v7
 //! snapshot against a committed baseline and prints a markdown
 //! regression report (per-example search-time ratios, deterministic
 //! counter drift); the exit code is non-zero when any gate fails. With
@@ -50,7 +57,8 @@
 use diaframe_bench::{
     ablation_table, aggregate_table, diff_snapshots, failing_table, figure6_json, figure6_table,
     jobs_sweep_json, prefetch_ablations, prefetch_suite, profile_identity_report, render_hotspots,
-    render_jobs_sweep, run_jobs_sweep, DiffOptions, SuiteCache,
+    render_jobs_sweep, run_jobs_sweep, verdict_table, DiffOptions, ProofStore, StoreExperiment,
+    SuiteCache,
 };
 use diaframe_core::{ProfileSession, TelemetrySession};
 use diaframe_examples::all_examples;
@@ -209,20 +217,93 @@ fn main() {
     let all = has("--all");
     let (failing, ablation, aggregate) = (has("--failing"), has("--ablation"), has("--aggregate"));
     let figure6 = all || !(failing || ablation || aggregate);
+    let store_dir = opt("--store").cloned();
+    if store_dir.is_some()
+        && (profile_out.is_some() || folded_out.is_some() || hotspots.is_some())
+    {
+        // The profile identity report reconciles span rollups against
+        // exactly one prefetch pass; the store experiment runs two.
+        eprintln!("--store cannot be combined with the profiling flags");
+        std::process::exit(2);
+    }
 
-    let cache = SuiteCache::new();
     // The profile session covers exactly the prefetch passes below —
     // every verification, and nothing else — so its span rollups must
     // reconcile with the cached runs' flat counters.
     let profile =
         (profile_out.is_some() || folded_out.is_some() || hotspots.is_some()).then(ProfileSession::new);
     let profile_guard = profile.as_ref().map(ProfileSession::install);
+    let mut store_exp: Option<StoreExperiment> = None;
     // One parallel pass fills the cache with everything the requested
     // tables will read; rendering below re-runs nothing.
-    let mut wall = prefetch_suite(&cache, jobs, all || failing);
-    if all || ablation {
-        wall += prefetch_ablations(&cache, jobs);
-    }
+    let (cache, wall) = if let Some(dir) = &store_dir {
+        // Warm-vs-cold store experiment: the same suite twice against
+        // one persistent store — a cold pass that searches and
+        // populates, then a warm pass (fresh in-memory cache, same
+        // store) that must be answered by checker-replayed store hits.
+        let store = std::sync::Arc::new(
+            ProofStore::open(std::path::Path::new(dir), None)
+                .unwrap_or_else(|e| panic!("--store: cannot open {dir}: {e}")),
+        );
+        let cold_cache = SuiteCache::with_store(std::sync::Arc::clone(&store));
+        let mut cold_wall = prefetch_suite(&cold_cache, jobs, all || failing);
+        if all || ablation {
+            cold_wall += prefetch_ablations(&cold_cache, jobs);
+        }
+        let cold = store.stats();
+        let warm_cache = SuiteCache::with_store(std::sync::Arc::clone(&store));
+        let warm_wall = prefetch_suite(&warm_cache, jobs, false);
+        let warm = store.stats().delta_since(&cold);
+        let suite_len = all_examples().len() as u64;
+        let cold_table = verdict_table(&cold_cache);
+        let warm_table = verdict_table(&warm_cache);
+        let speedup = cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(f64::EPSILON);
+        let mut failures = Vec::new();
+        if warm.hits != suite_len || warm.misses != 0 {
+            failures.push(format!(
+                "warm pass must be all store hits: {} hits / {} misses over {suite_len} examples",
+                warm.hits, warm.misses
+            ));
+        }
+        if cold_table != warm_table {
+            failures.push(String::from(
+                "verdict tables differ between the cold search and the warm replay",
+            ));
+        }
+        if warm_wall.as_secs_f64() > 0.5 * cold_wall.as_secs_f64() {
+            failures.push(format!(
+                "warm wall {warm_wall:.2?} exceeds half the cold wall {cold_wall:.2?}"
+            ));
+        }
+        if failures.is_empty() {
+            println!(
+                "store gate: PASS — warm {}/{suite_len} hits, 0 misses, byte-identical verdict \
+                 tables, {warm_wall:.2?} warm vs {cold_wall:.2?} cold ({speedup:.1}x)",
+                warm.hits
+            );
+        } else {
+            for f in &failures {
+                eprintln!("store gate: FAIL — {f}");
+            }
+            std::process::exit(1);
+        }
+        store_exp = Some(StoreExperiment {
+            cold_wall,
+            warm_wall,
+            cold,
+            warm,
+            entries: store.len(),
+            bytes: store.total_bytes(),
+        });
+        (cold_cache, cold_wall)
+    } else {
+        let cache = SuiteCache::new();
+        let mut wall = prefetch_suite(&cache, jobs, all || failing);
+        if all || ablation {
+            wall += prefetch_ablations(&cache, jobs);
+        }
+        (cache, wall)
+    };
     drop(profile_guard);
 
     let json = has("--json");
@@ -252,7 +333,7 @@ fn main() {
         );
     }
     if json || json_out.is_some() {
-        let snapshot = figure6_json(&cache, jobs, wall);
+        let snapshot = figure6_json(&cache, jobs, wall, store_exp.as_ref());
         if let Some(path) = json_out {
             std::fs::write(&path, &snapshot)
                 .unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -292,9 +373,9 @@ fn main() {
         }
     }
     if let Some(b) = &diff_baseline {
-        // Fresh-run mode: this run's v6 snapshot against the committed
+        // Fresh-run mode: this run's v7 snapshot against the committed
         // baseline. Exits non-zero on any regression.
-        let current = figure6_json(&cache, jobs, wall);
+        let current = figure6_json(&cache, jobs, wall, store_exp.as_ref());
         run_diff(&read_or_exit(b), &current, &diff_opts);
     }
 }

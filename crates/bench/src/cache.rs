@@ -59,6 +59,9 @@ pub struct CachedRun {
     /// the pool interleaving; the suite driver flushes cached runs in
     /// task-submission order instead.
     pub session: TelemetrySession,
+    /// Whether this run was served by replaying a persistent-store
+    /// entry (no search happened; `search_time` is zero).
+    pub from_store: bool,
 }
 
 impl CachedRun {
@@ -88,6 +91,9 @@ pub struct SuiteCache {
     entries: Mutex<HashMap<Key, Arc<OnceLock<Arc<CachedRun>>>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// When present, first-time runs consult the persistent proof store
+    /// (replaying a stored trace instead of searching when possible).
+    store: Option<Arc<crate::ProofStore>>,
 }
 
 impl SuiteCache {
@@ -95,6 +101,19 @@ impl SuiteCache {
     #[must_use]
     pub fn new() -> SuiteCache {
         SuiteCache::default()
+    }
+
+    /// An empty cache whose first-time runs go through the persistent
+    /// proof `store`: a hit replays the stored trace through the
+    /// checker, a miss searches and inserts. Everything downstream
+    /// (tables, telemetry flushes, counter invariants) is unchanged —
+    /// the store only swaps how a [`CachedRun`] gets produced.
+    #[must_use]
+    pub fn with_store(store: Arc<crate::ProofStore>) -> SuiteCache {
+        SuiteCache {
+            store: Some(store),
+            ..SuiteCache::default()
+        }
     }
 
     /// Returns the memoized run for `ex` under the thread's current
@@ -110,7 +129,10 @@ impl SuiteCache {
         let mut ran = false;
         let run = Arc::clone(cell.get_or_init(|| {
             ran = true;
-            Arc::new(run_once(ex, variant))
+            match &self.store {
+                Some(store) => store.get_or_run(ex, variant),
+                None => Arc::new(run_once(ex, variant)),
+            }
         }));
         if ran {
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -168,7 +190,7 @@ impl SuiteCache {
 /// replays the same steps in the same order — only the wall-clock
 /// attribution moves (`check_time` becomes the consumer's busy time and
 /// the saved wall-clock is reported as the `check_overlap_ms` counter).
-fn run_once(ex: &dyn Example, variant: Variant) -> CachedRun {
+pub(crate) fn run_once(ex: &dyn Example, variant: Variant) -> CachedRun {
     // A per-run session isolates this run's counters from whatever
     // session the pool worker carries (nested installs shadow the outer
     // one and restore it on drop). Counters are a pure side channel, so
@@ -194,6 +216,7 @@ fn run_once(ex: &dyn Example, variant: Variant) -> CachedRun {
         check_time,
         counters: session.snapshot(),
         session,
+        from_store: false,
     }
 }
 

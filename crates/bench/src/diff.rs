@@ -136,9 +136,11 @@ fn parse_snapshot(which: &str, text: &str) -> Result<Snapshot, String> {
 }
 
 /// Whether a counter is scheduler-shaped (speculation permits, pipeline
-/// overlap, cache temperature) and therefore never gates.
+/// overlap, cache temperature — including the persistent proof store's
+/// hit/miss ledger, which depends on what happens to be on disk) and
+/// therefore never gates.
 fn counter_is_informational(key: &str) -> bool {
-    ["spec_", "check_overlap", "interner_", "zonk_", "normalize_", "solver_"]
+    ["spec_", "check_overlap", "interner_", "zonk_", "normalize_", "solver_", "store_"]
         .iter()
         .any(|p| key.starts_with(p))
 }

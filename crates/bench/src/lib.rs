@@ -17,6 +17,9 @@
 pub mod adequacy;
 mod cache;
 pub mod diff;
+pub mod proto;
+pub mod server;
+pub mod store;
 mod suite;
 
 pub use adequacy::{
@@ -25,6 +28,7 @@ pub use adequacy::{
 };
 pub use cache::{CachedRun, SuiteCache, Variant};
 pub use diff::{diff_snapshots, DiffOptions, DiffReport};
+pub use store::{store_key, ProofStore, StoreStats};
 pub use suite::{ablation_configs, assert_counter_invariants, prefetch_ablations, prefetch_suite};
 
 use diaframe_core::{CounterSnapshot, TelemetrySession};
@@ -207,6 +211,53 @@ pub fn render_figure6(rows: &[Measured]) -> String {
 #[must_use]
 pub fn figure6_table(cache: &SuiteCache) -> String {
     render_figure6(&figure6_rows(cache))
+}
+
+/// Renders the deterministic *verdict table* for the given examples:
+/// what was proved and with how much manual help — and none of the
+/// timings. A cold search and a store replay that prove the same things
+/// render byte-identically (verdicts, spec counts and hint usage all
+/// derive from the byte-deterministic traces), which is exactly what
+/// the `diaframe serve` gate and `figure6 --store` compare with `cmp`.
+///
+/// # Panics
+///
+/// Panics if an example fails to verify.
+#[must_use]
+pub fn verdict_table_for(cache: &SuiteCache, examples: &[&dyn Example]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} | {:>5} {:>6} {:>9} | verdict",
+        "name", "specs", "manual", "hints"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(64));
+    for ex in examples {
+        let run = cache.get_or_run(*ex, Variant::Ok);
+        let outcome = run.expect_ok(ex.name());
+        let _ = writeln!(
+            out,
+            "{:<24} | {:>5} {:>6} {:>6}({:>1}) | verified",
+            ex.name(),
+            outcome.proofs.len(),
+            outcome.manual_steps,
+            outcome.hints_used().len(),
+            outcome.custom_hints_used().len()
+        );
+    }
+    out
+}
+
+/// The verdict table over the whole Figure 6 suite, in row order.
+///
+/// # Panics
+///
+/// Panics if any example fails to verify.
+#[must_use]
+pub fn verdict_table(cache: &SuiteCache) -> String {
+    let examples = all_examples();
+    let refs: Vec<&dyn Example> = examples.iter().map(AsRef::as_ref).collect();
+    verdict_table_for(cache, &refs)
 }
 
 /// The §6 failing-verification experiment: for every example with a
@@ -458,8 +509,51 @@ pub fn profile_identity_report(
     ))
 }
 
+/// The warm-vs-cold proof-store experiment attached to a v7 snapshot by
+/// `figure6 --store`: the same suite prefetched twice against one
+/// persistent [`ProofStore`] — a cold pass that searches and populates,
+/// then a warm pass from a fresh [`SuiteCache`] that replays.
+#[derive(Debug, Clone)]
+pub struct StoreExperiment {
+    /// Suite wall-clock of the cold (populate) pass.
+    pub cold_wall: Duration,
+    /// Suite wall-clock of the warm (replay) pass.
+    pub warm_wall: Duration,
+    /// Store counter deltas attributable to the cold pass.
+    pub cold: StoreStats,
+    /// Store counter deltas attributable to the warm pass.
+    pub warm: StoreStats,
+    /// Entries resident after both passes.
+    pub entries: usize,
+    /// Bytes resident after both passes.
+    pub bytes: u64,
+}
+
+impl StoreExperiment {
+    /// Cold wall over warm wall (how many times faster the warm pass
+    /// ran); infinite if the warm pass rounded to zero.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.cold_wall.as_secs_f64() / self.warm_wall.as_secs_f64().max(f64::EPSILON)
+    }
+
+    fn json_object(&self) -> String {
+        format!(
+            "{{ \"cold_wall_ms\": {}, \"warm_wall_ms\": {}, \"speedup\": {:.2}, \
+             \"entries\": {}, \"bytes\": {}, \"cold\": {}, \"warm\": {} }}",
+            ms(self.cold_wall),
+            ms(self.warm_wall),
+            self.speedup(),
+            self.entries,
+            self.bytes,
+            self.cold.json_object(),
+            self.warm.json_object()
+        )
+    }
+}
+
 /// Serializes the Figure 6 run as JSON (schema
-/// `diaframe-bench/figure6/v6`) for committing as a `BENCH_*.json`
+/// `diaframe-bench/figure6/v7`) for committing as a `BENCH_*.json`
 /// snapshot: per-example search/check/total timings and search-effort
 /// counters, the run's worker count, stack size, wall-clock, cache
 /// accounting, and the suite-wide counter aggregate.
@@ -491,14 +585,26 @@ pub fn profile_identity_report(
 /// `figure6 --diff` regression reporter. The per-example jobs-scaling
 /// sweep lives in a separate snapshot (see [`jobs_sweep_json`], schema
 /// `diaframe-bench/jobs-sweep/v1`), keeping this file's shape stable
-/// for per-field consumers.
+/// for per-field consumers. v7 adds the persistent-proof-store counters
+/// (`store_hits`/`store_misses`/`store_corruptions`/`store_evictions`/
+/// `store_replay_ms`/`store_search_ms`) to every telemetry block, and a
+/// top-level `store` block (`null` unless the run was `figure6
+/// --store`) recording the warm-vs-cold experiment: both suite walls,
+/// per-pass store counters, resident entries/bytes and the speedup.
+/// Store counters are cache-temperature, so the `--diff` reporter
+/// treats them as informational, never gating.
 ///
 /// # Panics
 ///
 /// Panics if any example fails to verify or its counters violate the
 /// [`CounterSnapshot::check_invariants`] accounting identities.
 #[must_use]
-pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
+pub fn figure6_json(
+    cache: &SuiteCache,
+    jobs: usize,
+    wall: Duration,
+    store: Option<&StoreExperiment>,
+) -> String {
     let rows = figure6_rows(cache);
     let mut aggregate = CounterSnapshot::default();
     for m in &rows {
@@ -524,7 +630,7 @@ pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
         per_spans.push(spans_json(durs));
     }
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/figure6/v6\",");
+    let _ = writeln!(out, "  \"schema\": \"diaframe-bench/figure6/v7\",");
     let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(
         out,
@@ -537,6 +643,11 @@ pub fn figure6_json(cache: &SuiteCache, jobs: usize, wall: Duration) -> String {
         "  \"cache\": {{ \"hits\": {}, \"misses\": {} }},",
         cache.hits(),
         cache.misses()
+    );
+    let _ = writeln!(
+        out,
+        "  \"store\": {},",
+        store.map_or_else(|| String::from("null"), StoreExperiment::json_object)
     );
     let _ = writeln!(out, "  \"telemetry\": {},", aggregate.json_object());
     let _ = writeln!(

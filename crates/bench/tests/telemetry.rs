@@ -82,11 +82,11 @@ fn suite_tables_unaffected_by_telemetry() {
     assert_eq!(a, b, "rows (counters included) must not depend on an outer session");
     assert_eq!(render_figure6(&a), render_figure6(&b), "tables must be byte-identical");
 
-    // The v6 snapshot carries the telemetry blocks, the per-span-kind
+    // The v7 snapshot carries the telemetry blocks, the per-span-kind
     // duration histograms, and a non-trivial aggregate (`figure6_json`
     // re-checks every row's invariants).
-    let json = figure6_json(&plain, 2, Duration::ZERO);
-    assert!(json.contains("\"schema\": \"diaframe-bench/figure6/v6\""));
+    let json = figure6_json(&plain, 2, Duration::ZERO, None);
+    assert!(json.contains("\"schema\": \"diaframe-bench/figure6/v7\""));
     assert!(json.contains("\"telemetry\""));
     assert!(json.contains("\"probes_attempted\""));
     assert!(json.contains("\"spans\""));

@@ -39,6 +39,7 @@
 pub mod checker;
 pub mod ctx;
 pub mod driver;
+pub mod fingerprint;
 pub mod fuzz;
 pub mod goal;
 pub mod hint;
@@ -57,6 +58,7 @@ pub mod verify;
 
 pub use ctx::{Hyp, ProofCtx};
 pub use driver::{collect_ordered, default_jobs, run_ordered, JobPanic};
+pub use fingerprint::{engine_fingerprint, sha256_hex, Fingerprinter, Sha256};
 pub use profile::{ProfileSession, SpanKind};
 pub use goal::Goal;
 pub use index::{hint_index_enabled, set_hint_index_enabled, HeadSet};

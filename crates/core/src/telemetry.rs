@@ -79,6 +79,12 @@ struct Counters {
     spec_cancelled: AtomicU64,
     spec_wasted_probes: AtomicU64,
     check_overlap_ms: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_corruptions: AtomicU64,
+    store_evictions: AtomicU64,
+    store_replay_ms: AtomicU64,
+    store_search_ms: AtomicU64,
     steps_by_kind: [AtomicU64; TraceKind::COUNT],
 }
 
@@ -165,6 +171,28 @@ pub struct CounterSnapshot {
     /// minus end-to-end wall; 0 when the pipeline is off or nothing
     /// overlapped).
     pub check_overlap_ms: u64,
+    /// Persistent proof-store lookups answered by a successfully
+    /// *replayed* cached trace (a hit is only counted after the
+    /// independent checker accepted the stored trace — the store never
+    /// trusts its bytes blindly).
+    pub store_hits: u64,
+    /// Persistent proof-store lookups that fell through to a full
+    /// search: no entry, a stale engine fingerprint, or a corrupt /
+    /// non-replaying entry demoted to a miss.
+    pub store_misses: u64,
+    /// Store entries rejected as corrupt (checksum mismatch, decode
+    /// failure, or a trace the checker refused) and demoted to misses.
+    /// Always ≤ `store_misses` — every corruption *is* a miss.
+    pub store_corruptions: u64,
+    /// Store entries evicted by the LRU byte-budget sweep.
+    pub store_evictions: u64,
+    /// Milliseconds spent replaying stored traces through the checker
+    /// on the hit path (the cheap side of the replay-vs-search split).
+    pub store_replay_ms: u64,
+    /// Milliseconds spent in full proof search on the store miss path
+    /// (the expensive side; `store_replay_ms / store_search_ms` per
+    /// request is the cache's value proposition).
+    pub store_search_ms: u64,
     /// Rule applications by [`TraceKind`] (indexed by
     /// [`TraceKind::index`]); monotonic, so steps of abandoned branches
     /// stay counted — this measures effort, not trace length.
@@ -239,6 +267,12 @@ impl CounterSnapshot {
         self.spec_cancelled += other.spec_cancelled;
         self.spec_wasted_probes += other.spec_wasted_probes;
         self.check_overlap_ms += other.check_overlap_ms;
+        self.store_hits += other.store_hits;
+        self.store_misses += other.store_misses;
+        self.store_corruptions += other.store_corruptions;
+        self.store_evictions += other.store_evictions;
+        self.store_replay_ms += other.store_replay_ms;
+        self.store_search_ms += other.store_search_ms;
         for (a, b) in self.steps_by_kind.iter_mut().zip(other.steps_by_kind.iter()) {
             *a += *b;
         }
@@ -277,6 +311,12 @@ impl CounterSnapshot {
             spec_cancelled: self.spec_cancelled - before.spec_cancelled,
             spec_wasted_probes: self.spec_wasted_probes - before.spec_wasted_probes,
             check_overlap_ms: self.check_overlap_ms - before.check_overlap_ms,
+            store_hits: self.store_hits - before.store_hits,
+            store_misses: self.store_misses - before.store_misses,
+            store_corruptions: self.store_corruptions - before.store_corruptions,
+            store_evictions: self.store_evictions - before.store_evictions,
+            store_replay_ms: self.store_replay_ms - before.store_replay_ms,
+            store_search_ms: self.store_search_ms - before.store_search_ms,
             steps_by_kind: [0; TraceKind::COUNT],
         };
         if self.deepest_abandoned > before.deepest_abandoned {
@@ -352,6 +392,20 @@ impl CounterSnapshot {
                 self.spec_wasted_probes
             ));
         }
+        // A corrupt store entry is always demoted to a miss before the
+        // re-search, so corruptions can never exceed misses.
+        if self.store_corruptions > self.store_misses {
+            return Err(format!(
+                "store_corruptions ({}) > store_misses ({})",
+                self.store_corruptions, self.store_misses
+            ));
+        }
+        if self.store_replay_ms > 0 && self.store_hits == 0 {
+            return Err(format!(
+                "store_replay_ms ({}) recorded without any store hit",
+                self.store_replay_ms
+            ));
+        }
         Ok(())
     }
 
@@ -374,6 +428,9 @@ impl CounterSnapshot {
              \"solver_verdict_hits\": {}, \"solver_verdict_misses\": {}, \
              \"spec_spawned\": {}, \"spec_won\": {}, \"spec_cancelled\": {}, \
              \"spec_wasted_probes\": {}, \"check_overlap_ms\": {}, \
+             \"store_hits\": {}, \"store_misses\": {}, \
+             \"store_corruptions\": {}, \"store_evictions\": {}, \
+             \"store_replay_ms\": {}, \"store_search_ms\": {}, \
              \"steps_by_kind\": {{",
             self.probes_attempted,
             self.probes_skipped,
@@ -400,6 +457,12 @@ impl CounterSnapshot {
             self.spec_cancelled,
             self.spec_wasted_probes,
             self.check_overlap_ms,
+            self.store_hits,
+            self.store_misses,
+            self.store_corruptions,
+            self.store_evictions,
+            self.store_replay_ms,
+            self.store_search_ms,
         );
         for (i, kind) in TraceKind::ALL.into_iter().enumerate() {
             if i > 0 {
@@ -733,6 +796,12 @@ impl TelemetrySession {
             spec_cancelled: c.spec_cancelled.load(Ordering::Relaxed),
             spec_wasted_probes: c.spec_wasted_probes.load(Ordering::Relaxed),
             check_overlap_ms: c.check_overlap_ms.load(Ordering::Relaxed),
+            store_hits: c.store_hits.load(Ordering::Relaxed),
+            store_misses: c.store_misses.load(Ordering::Relaxed),
+            store_corruptions: c.store_corruptions.load(Ordering::Relaxed),
+            store_evictions: c.store_evictions.load(Ordering::Relaxed),
+            store_replay_ms: c.store_replay_ms.load(Ordering::Relaxed),
+            store_search_ms: c.store_search_ms.load(Ordering::Relaxed),
             steps_by_kind: steps,
         }
     }
@@ -825,6 +894,17 @@ impl TelemetrySession {
             .fetch_add(snap.spec_wasted_probes, Ordering::Relaxed);
         c.check_overlap_ms
             .fetch_add(snap.check_overlap_ms, Ordering::Relaxed);
+        c.store_hits.fetch_add(snap.store_hits, Ordering::Relaxed);
+        c.store_misses
+            .fetch_add(snap.store_misses, Ordering::Relaxed);
+        c.store_corruptions
+            .fetch_add(snap.store_corruptions, Ordering::Relaxed);
+        c.store_evictions
+            .fetch_add(snap.store_evictions, Ordering::Relaxed);
+        c.store_replay_ms
+            .fetch_add(snap.store_replay_ms, Ordering::Relaxed);
+        c.store_search_ms
+            .fetch_add(snap.store_search_ms, Ordering::Relaxed);
         for (i, n) in snap.steps_by_kind.into_iter().enumerate() {
             if n > 0 {
                 c.steps_by_kind[i].fetch_add(n, Ordering::Relaxed);
@@ -855,7 +935,7 @@ impl TelemetrySession {
 
     /// Per-span-name duration histograms (count/total/p50/p95/max) for
     /// this session, in name order. These land in the per-example
-    /// `"spans"` block of the figure6 v6 snapshot.
+    /// `"spans"` block of the figure6 snapshot.
     #[must_use]
     pub fn span_stats(&self) -> Vec<(&'static str, SpanStats)> {
         self.span_durations()
@@ -1261,6 +1341,61 @@ pub fn check_overlap(ms: u64) {
     }
     with_session(|s| {
         s.counters.check_overlap_ms.fetch_add(ms, Ordering::Relaxed);
+    });
+}
+
+/// A persistent proof-store lookup was answered by a cached trace that
+/// the checker replayed successfully.
+#[inline]
+pub fn store_hit() {
+    with_session(|s| {
+        s.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A persistent proof-store lookup fell through to a full search (no
+/// entry, stale fingerprint, or a corrupt entry demoted to a miss).
+#[inline]
+pub fn store_miss() {
+    with_session(|s| {
+        s.counters.store_misses.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A store entry was rejected as corrupt (checksum mismatch, decode
+/// failure, or a replay the checker refused). Callers count the
+/// accompanying [`store_miss`] separately.
+#[inline]
+pub fn store_corruption() {
+    with_session(|s| {
+        s.counters.store_corruptions.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// `n` store entries were evicted by the LRU byte-budget sweep.
+#[inline]
+pub fn store_evictions(n: u64) {
+    if n == 0 {
+        return;
+    }
+    with_session(|s| {
+        s.counters.store_evictions.fetch_add(n, Ordering::Relaxed);
+    });
+}
+
+/// `ms` milliseconds were spent replaying a stored trace on a hit.
+#[inline]
+pub fn store_replay_ms(ms: u64) {
+    with_session(|s| {
+        s.counters.store_replay_ms.fetch_add(ms, Ordering::Relaxed);
+    });
+}
+
+/// `ms` milliseconds were spent in full search on the store miss path.
+#[inline]
+pub fn store_search_ms(ms: u64) {
+    with_session(|s| {
+        s.counters.store_search_ms.fetch_add(ms, Ordering::Relaxed);
     });
 }
 

@@ -23,6 +23,15 @@ use diaframe_logic::Namespace;
 use diaframe_term::{EVarId, PureProp, Qp, Rat, Sort, Sym, Term, VarCtx, VarId};
 use std::fmt::Write as _;
 
+/// The revision of the serialized trace format *and* of the checker
+/// contract it feeds. Bump this whenever the JSON shape, the
+/// [`TraceStep`] grammar, or the replay rules change incompatibly: the
+/// engine fingerprint ([`crate::fingerprint::engine_fingerprint`])
+/// folds it in, which invalidates every persistent proof-store entry
+/// recorded under the old revision — stale traces then miss instead of
+/// replaying against rules they were never checked by.
+pub const FORMAT_REV: u32 = 1;
+
 // ---------------------------------------------------------------------------
 // Errors
 
@@ -685,58 +694,77 @@ fn prop_from_json(v: &JsonValue) -> Result<PureProp, JsonError> {
     }
 }
 
+/// One universal variable of a [`VarCtx`] as a canonical JSON object.
+fn var_entry_json(vars: &VarCtx, i: usize) -> String {
+    let v = VarId::from_index(i);
+    format!(
+        "{{\"sort\":\"{}\",\"level\":{},\"name\":\"{}\"}}",
+        sort_name(vars.var_sort(v)),
+        vars.var_level(v),
+        json_escape(vars.var_name(v))
+    )
+}
+
+/// One evar of a [`VarCtx`] as a canonical JSON object.
+fn evar_entry_json(vars: &VarCtx, i: usize) -> String {
+    let e = EVarId::from_index(i);
+    let mut out = format!(
+        "{{\"sort\":\"{}\",\"level\":{},\"sol\":",
+        sort_name(vars.evar_sort(e)),
+        vars.evar_level(e)
+    );
+    match vars.evar_solution(e) {
+        Some(t) => term_json(t, &mut out),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
 fn varctx_json(vars: &VarCtx, out: &mut String) {
     let _ = write!(out, "{{\"level\":{},\"vars\":[", vars.level());
     for i in 0..vars.num_vars() {
         if i > 0 {
             out.push(',');
         }
-        let v = VarId::from_index(i);
-        let _ = write!(
-            out,
-            "{{\"sort\":\"{}\",\"level\":{},\"name\":\"{}\"}}",
-            sort_name(vars.var_sort(v)),
-            vars.var_level(v),
-            json_escape(vars.var_name(v))
-        );
+        out.push_str(&var_entry_json(vars, i));
     }
     out.push_str("],\"evars\":[");
     for i in 0..vars.num_evars() {
         if i > 0 {
             out.push(',');
         }
-        let e = EVarId::from_index(i);
-        let _ = write!(
-            out,
-            "{{\"sort\":\"{}\",\"level\":{},\"sol\":",
-            sort_name(vars.evar_sort(e)),
-            vars.evar_level(e)
-        );
-        match vars.evar_solution(e) {
-            Some(t) => term_json(t, out),
-            None => out.push_str("null"),
-        }
-        out.push('}');
+        out.push_str(&evar_entry_json(vars, i));
     }
     out.push_str("]}");
+}
+
+fn var_entry_from_json(entry: &JsonValue) -> Result<(Sort, u32, String), JsonError> {
+    let sort = sort_from_name(entry.str_field("sort")?)?;
+    let level = u32::try_from(entry.usize_field("level")?)
+        .map_err(|_| JsonError("variable level out of range".into()))?;
+    Ok((sort, level, entry.str_field("name")?.to_owned()))
+}
+
+fn evar_entry_from_json(entry: &JsonValue) -> Result<(Sort, u32, Option<Term>), JsonError> {
+    let sort = sort_from_name(entry.str_field("sort")?)?;
+    let level = u32::try_from(entry.usize_field("level")?)
+        .map_err(|_| JsonError("evar level out of range".into()))?;
+    let sol = match entry.field("sol")? {
+        JsonValue::Null => None,
+        t => Some(term_from_json(t)?),
+    };
+    Ok((sort, level, sol))
 }
 
 fn varctx_from_json(v: &JsonValue) -> Result<VarCtx, JsonError> {
     let mut ctx = VarCtx::new();
     for entry in v.arr_field("vars")? {
-        let sort = sort_from_name(entry.str_field("sort")?)?;
-        let level = u32::try_from(entry.usize_field("level")?)
-            .map_err(|_| JsonError("variable level out of range".into()))?;
-        ctx.push_raw_var(sort, level, entry.str_field("name")?);
+        let (sort, level, name) = var_entry_from_json(entry)?;
+        ctx.push_raw_var(sort, level, &name);
     }
     for entry in v.arr_field("evars")? {
-        let sort = sort_from_name(entry.str_field("sort")?)?;
-        let level = u32::try_from(entry.usize_field("level")?)
-            .map_err(|_| JsonError("evar level out of range".into()))?;
-        let sol = match entry.field("sol")? {
-            JsonValue::Null => None,
-            t => Some(term_from_json(t)?),
-        };
+        let (sort, level, sol) = evar_entry_from_json(entry)?;
         ctx.push_raw_evar(sort, level, sol);
     }
     ctx.set_level(
@@ -930,8 +958,20 @@ pub fn trace_to_json(trace: &ProofTrace) -> String {
 ///
 /// Returns a [`JsonError`] on malformed input (see [`step_from_json`]).
 pub fn trace_from_json(text: &str) -> Result<ProofTrace, JsonError> {
-    let v = parse_json(text)?;
-    let items = match &v {
+    trace_from_value(&parse_json(text)?)
+}
+
+/// Decodes a trace from an already-parsed [`JsonValue`] (the array shape
+/// of [`trace_to_json`]). Lets a containing document — e.g. a proof-store
+/// entry holding one trace per spec — be parsed once and its traces
+/// decoded in place, instead of re-parsing each trace from an embedded
+/// string.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on a malformed trace (see [`step_from_json`]).
+pub fn trace_from_value(v: &JsonValue) -> Result<ProofTrace, JsonError> {
+    let items = match v {
         JsonValue::Arr(items) => items,
         other => return err(format!("expected a trace array, got {other:?}")),
     };
@@ -940,6 +980,244 @@ pub fn trace_from_json(text: &str) -> Result<ProofTrace, JsonError> {
         trace.push(step_from_value(item)?);
     }
     Ok(trace)
+}
+
+// ---------------------------------------------------------------------------
+// Compact trace bundles (the proof store's entry payload)
+//
+// A raw trace serialization is dominated — often >90% by byte count — by
+// `pure_obligation` steps: each one snapshots the *entire* variable
+// context so the checker can re-prove the obligation from scratch, and a
+// long proof re-serializes a few hundred variables per obligation. Those
+// snapshots are incremental (each mostly extends an earlier one), so the
+// bundle format below shares them: every distinct context is emitted once
+// in a table, delta-encoded against the earlier table entry with the
+// longest common (vars, evars) prefix, and obligations refer to table
+// rows by index. Fact lists are deduplicated the same way (they repeat
+// exactly, so a plain table suffices). Everything else reuses the
+// canonical per-step encoding, and decoding rebuilds a [`ProofTrace`]
+// that is structurally identical to what the canonical codec would have
+// produced — the independent checker replays it unchanged.
+
+/// Shared tables built up while encoding a bundle.
+#[derive(Default)]
+struct CompactTables {
+    /// Per table row: the full per-var / per-evar canonical texts (used
+    /// for prefix matching against later contexts).
+    ctx_texts: Vec<(Vec<String>, Vec<String>)>,
+    /// Per table row: its emitted (delta-encoded) JSON.
+    ctx_rows: Vec<String>,
+    ctx_index: std::collections::HashMap<String, usize>,
+    fact_rows: Vec<String>,
+    fact_index: std::collections::HashMap<String, usize>,
+}
+
+fn common_prefix(a: &[String], b: &[String]) -> usize {
+    let mut n = 0;
+    while n < a.len() && n < b.len() && a[n] == b[n] {
+        n += 1;
+    }
+    n
+}
+
+impl CompactTables {
+    fn intern_ctx(&mut self, vars: &VarCtx) -> usize {
+        let var_texts: Vec<String> = (0..vars.num_vars()).map(|i| var_entry_json(vars, i)).collect();
+        let evar_texts: Vec<String> =
+            (0..vars.num_evars()).map(|i| evar_entry_json(vars, i)).collect();
+        let key = format!("{}\u{0}{}\u{0}{}", vars.level(), var_texts.join(","), evar_texts.join(","));
+        if let Some(&i) = self.ctx_index.get(&key) {
+            return i;
+        }
+        // Delta base: the earlier row sharing the longest combined prefix.
+        let mut base = None;
+        let (mut take, mut etake) = (0usize, 0usize);
+        for (b, (pv, pe)) in self.ctx_texts.iter().enumerate() {
+            let t = common_prefix(pv, &var_texts);
+            let e = common_prefix(pe, &evar_texts);
+            if t + e > take + etake {
+                (base, take, etake) = (Some(b), t, e);
+            }
+        }
+        let mut row = match base {
+            Some(b) => format!("{{\"base\":{b},\"take\":{take},\"etake\":{etake}"),
+            None => String::from("{\"base\":null,\"take\":0,\"etake\":0"),
+        };
+        let _ = write!(row, ",\"level\":{},\"vars\":[", vars.level());
+        for (i, t) in var_texts.iter().enumerate().skip(take) {
+            if i > take {
+                row.push(',');
+            }
+            row.push_str(t);
+        }
+        row.push_str("],\"evars\":[");
+        for (i, t) in evar_texts.iter().enumerate().skip(etake) {
+            if i > etake {
+                row.push(',');
+            }
+            row.push_str(t);
+        }
+        row.push_str("]}");
+        let idx = self.ctx_rows.len();
+        self.ctx_rows.push(row);
+        self.ctx_texts.push((var_texts, evar_texts));
+        self.ctx_index.insert(key, idx);
+        idx
+    }
+
+    fn intern_facts(&mut self, facts: &[PureProp]) -> usize {
+        let mut row = String::from("[");
+        for (i, f) in facts.iter().enumerate() {
+            if i > 0 {
+                row.push(',');
+            }
+            prop_json(f, &mut row);
+        }
+        row.push(']');
+        if let Some(&i) = self.fact_index.get(&row) {
+            return i;
+        }
+        let idx = self.fact_rows.len();
+        self.fact_index.insert(row.clone(), idx);
+        self.fact_rows.push(row);
+        idx
+    }
+}
+
+/// Encodes a set of named traces as one compact bundle (see the module
+/// section comment): variable-context snapshots are delta-shared across
+/// *all* the traces, which typically shrinks a long proof by an order of
+/// magnitude relative to [`trace_to_json`]. Decode with
+/// [`traces_from_compact_value`].
+#[must_use]
+pub fn traces_to_compact_json(specs: &[(&str, &ProofTrace)]) -> String {
+    let mut tables = CompactTables::default();
+    let mut specs_out = String::from("[");
+    for (si, (name, trace)) in specs.iter().enumerate() {
+        if si > 0 {
+            specs_out.push(',');
+        }
+        let _ = write!(specs_out, "{{\"name\":\"{}\",\"trace\":[", json_escape(name));
+        for (i, step) in trace.steps().iter().enumerate() {
+            if i > 0 {
+                specs_out.push(',');
+            }
+            match step {
+                TraceStep::PureObligation { facts, goal, vars } => {
+                    let fi = tables.intern_facts(facts);
+                    let vi = tables.intern_ctx(vars);
+                    let _ = write!(specs_out, "{{\"step\":\"pure_obligation\",\"facts\":{fi},\"goal\":");
+                    prop_json(goal, &mut specs_out);
+                    let _ = write!(specs_out, ",\"vars\":{vi}}}");
+                }
+                other => specs_out.push_str(&step_to_json(other)),
+            }
+        }
+        specs_out.push_str("]}");
+    }
+    specs_out.push(']');
+    let mut out = String::from("{\"varctxs\":[");
+    out.push_str(&tables.ctx_rows.join(","));
+    out.push_str("],\"factsets\":[");
+    out.push_str(&tables.fact_rows.join(","));
+    out.push_str("],\"specs\":");
+    out.push_str(&specs_out);
+    out.push('}');
+    out
+}
+
+/// Decodes a parsed bundle produced by [`traces_to_compact_json`] back
+/// into its named traces.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on malformed input — including dangling or
+/// forward table references and prefix lengths exceeding their base,
+/// which a corrupted store entry could present.
+pub fn traces_from_compact_value(v: &JsonValue) -> Result<Vec<(String, ProofTrace)>, JsonError> {
+    struct CtxEntry {
+        vars: Vec<(Sort, u32, String)>,
+        evars: Vec<(Sort, u32, Option<Term>)>,
+        ctx: VarCtx,
+    }
+    let mut table: Vec<CtxEntry> = Vec::new();
+    for (i, entry) in v.arr_field("varctxs")?.iter().enumerate() {
+        let take = entry.usize_field("take")?;
+        let etake = entry.usize_field("etake")?;
+        let (mut vars, mut evars) = match entry.field("base")? {
+            JsonValue::Null if take == 0 && etake == 0 => (Vec::new(), Vec::new()),
+            JsonValue::Null => return err(format!("varctx {i}: baseless row takes a prefix")),
+            b => {
+                let b = b
+                    .as_u64()
+                    .and_then(|b| usize::try_from(b).ok())
+                    .ok_or_else(|| JsonError(format!("varctx {i}: bad base {b:?}")))?;
+                // Rows may only reference earlier rows, so the table so
+                // far bounds the reference.
+                let base = table
+                    .get(b)
+                    .ok_or_else(|| JsonError(format!("varctx {i}: base {b} out of range")))?;
+                if take > base.vars.len() || etake > base.evars.len() {
+                    return err(format!("varctx {i}: prefix exceeds base {b}"));
+                }
+                (base.vars[..take].to_vec(), base.evars[..etake].to_vec())
+            }
+        };
+        for e in entry.arr_field("vars")? {
+            vars.push(var_entry_from_json(e)?);
+        }
+        for e in entry.arr_field("evars")? {
+            evars.push(evar_entry_from_json(e)?);
+        }
+        let mut ctx = VarCtx::new();
+        for (sort, level, name) in &vars {
+            ctx.push_raw_var(*sort, *level, name);
+        }
+        for (sort, level, sol) in &evars {
+            ctx.push_raw_evar(*sort, *level, sol.clone());
+        }
+        ctx.set_level(
+            u32::try_from(entry.usize_field("level")?)
+                .map_err(|_| JsonError("context level out of range".into()))?,
+        );
+        table.push(CtxEntry { vars, evars, ctx });
+    }
+    let mut factsets: Vec<Vec<PureProp>> = Vec::new();
+    for row in v.arr_field("factsets")? {
+        let items = row
+            .as_array()
+            .ok_or_else(|| JsonError("factset must be an array".into()))?;
+        factsets.push(items.iter().map(prop_from_json).collect::<Result<Vec<_>, _>>()?);
+    }
+    let mut out = Vec::new();
+    for spec in v.arr_field("specs")? {
+        let name = spec.str_field("name")?;
+        let mut trace = ProofTrace::new();
+        for item in spec.arr_field("trace")? {
+            if item.str_field("step")? == "pure_obligation" {
+                let fi = item.usize_field("facts")?;
+                let vi = item.usize_field("vars")?;
+                let facts = factsets
+                    .get(fi)
+                    .ok_or_else(|| JsonError(format!("{name}: factset {fi} out of range")))?
+                    .clone();
+                let vars = table
+                    .get(vi)
+                    .ok_or_else(|| JsonError(format!("{name}: varctx {vi} out of range")))?
+                    .ctx
+                    .clone();
+                trace.push(TraceStep::PureObligation {
+                    facts,
+                    goal: prop_from_json(item.field("goal")?)?,
+                    vars,
+                });
+            } else {
+                trace.push(step_from_value(item)?);
+            }
+        }
+        out.push((name.to_owned(), trace));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1063,6 +1341,77 @@ mod tests {
         // Wide integers must be strings.
         assert!(step_from_json(
             "{\"step\":\"fact\",\"prop\":{\"p\":\"eq\",\"l\":{\"i\":1},\"r\":{\"i\":\"1\"}}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn compact_bundle_round_trips_and_shares_contexts() {
+        // Three obligations: two on identical contexts (must dedup to one
+        // table row) and one on an extended context (must delta-encode
+        // against the first row).
+        let mut small = VarCtx::new();
+        let x = small.fresh_var(Sort::Int, "x");
+        let mut big = small.clone();
+        let y = big.fresh_var(Sort::Loc, "y\"esc");
+        big.push_level();
+        let e = big.fresh_evar(Sort::Val);
+        big.solve_evar(e, Term::var(y));
+
+        let ob = |vars: &VarCtx, goal: PureProp| TraceStep::PureObligation {
+            facts: vec![PureProp::Le(Term::int(0), Term::var(x))],
+            goal,
+            vars: vars.clone(),
+        };
+        let mut t1 = ProofTrace::new();
+        t1.push(TraceStep::IntroVar { name: "x".into() });
+        t1.push(ob(&small, PureProp::True));
+        t1.push(ob(&small, PureProp::Lt(Term::int(0), Term::int(1))));
+        let mut t2 = ProofTrace::new();
+        t2.push(ob(&big, PureProp::Eq(Term::var(y), Term::var(y))));
+        t2.push(TraceStep::ValueReached);
+
+        let bundle = traces_to_compact_json(&[("one", &t1), ("two", &t2)]);
+        let v = parse_json_value(&bundle).unwrap();
+        // Table sharing: 2 distinct contexts, 1 distinct fact list, and
+        // the second row is a delta (it names row 0 as its base).
+        assert_eq!(v.arr_field("varctxs").unwrap().len(), 2, "in {bundle}");
+        assert_eq!(v.arr_field("factsets").unwrap().len(), 1, "in {bundle}");
+        assert_eq!(
+            v.arr_field("varctxs").unwrap()[1].get("base").unwrap().as_u64(),
+            Some(0),
+            "in {bundle}"
+        );
+
+        let back = traces_from_compact_value(&v).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, "one");
+        assert_eq!(back[1].0, "two");
+        assert_eq!(format!("{:?}", t1.steps()), format!("{:?}", back[0].1.steps()));
+        assert_eq!(format!("{:?}", t2.steps()), format!("{:?}", back[1].1.steps()));
+    }
+
+    #[test]
+    fn compact_bundle_rejects_bad_references() {
+        let decode = |text: &str| traces_from_compact_value(&parse_json_value(text).unwrap());
+        // Forward/self base reference.
+        assert!(decode(
+            "{\"varctxs\":[{\"base\":0,\"take\":0,\"etake\":0,\"level\":0,\"vars\":[],\"evars\":[]}],\"factsets\":[],\"specs\":[]}"
+        )
+        .is_err());
+        // Prefix longer than its base.
+        assert!(decode(
+            "{\"varctxs\":[{\"base\":null,\"take\":0,\"etake\":0,\"level\":0,\"vars\":[],\"evars\":[]},{\"base\":0,\"take\":3,\"etake\":0,\"level\":0,\"vars\":[],\"evars\":[]}],\"factsets\":[],\"specs\":[]}"
+        )
+        .is_err());
+        // Baseless row claiming a prefix.
+        assert!(decode(
+            "{\"varctxs\":[{\"base\":null,\"take\":1,\"etake\":0,\"level\":0,\"vars\":[],\"evars\":[]}],\"factsets\":[],\"specs\":[]}"
+        )
+        .is_err());
+        // Obligation indexing past the tables.
+        assert!(decode(
+            "{\"varctxs\":[],\"factsets\":[],\"specs\":[{\"name\":\"s\",\"trace\":[{\"step\":\"pure_obligation\",\"facts\":0,\"goal\":{\"p\":\"true\"},\"vars\":0}]}]}"
         )
         .is_err());
     }

@@ -344,6 +344,17 @@ pub fn force_disable(off: bool) {
     FORCE_OFF.store(off, Ordering::SeqCst);
 }
 
+/// Whether interner scopes install at all under the current process
+/// configuration (the `DIAFRAME_INTERN` environment gate combined with
+/// any [`force_disable`] override). This is a *configuration* probe —
+/// use [`is_active`] to ask whether the current thread has a live scope.
+/// The engine fingerprint folds this in, so proof-store entries recorded
+/// under one interner setting never replay under the other.
+#[must_use]
+pub fn enabled() -> bool {
+    env_enabled() && !FORCE_OFF.load(Ordering::Relaxed)
+}
+
 /// Whether an interner scope is active on this thread.
 #[must_use]
 pub fn is_active() -> bool {

@@ -87,7 +87,18 @@ pub fn force_disable(off: bool) {
 /// stamps live there.
 #[must_use]
 pub fn enabled() -> bool {
-    env_enabled() && !FORCE_OFF.load(Ordering::Relaxed) && crate::intern::is_active()
+    configured() && crate::intern::is_active()
+}
+
+/// Whether the incremental solver is *configured* on (the
+/// `DIAFRAME_EGRAPH` environment gate plus the [`force_disable`]
+/// override), ignoring whether the calling thread currently has an
+/// interner scope. This is the semantics-affecting knob state a cache
+/// fingerprint should key on: scope activity is per-thread plumbing,
+/// not configuration.
+#[must_use]
+pub fn configured() -> bool {
+    env_enabled() && !FORCE_OFF.load(Ordering::Relaxed)
 }
 
 /// Version stamps for literals pushed outside any interner scope: unique
